@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+The experiment dataset (the paper's Video & DVD stand-in at 1,200 users,
+seed 7 -- the exact configuration behind EXPERIMENTS.md) is generated once
+per session; each table/figure benchmark then measures its own analysis
+step and asserts the paper's qualitative shape on the result.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_SEED, paper_profile, run_pipeline
+
+
+def pytest_configure(config):
+    # benchmarks are invoked as `pytest benchmarks/ --benchmark-only`; the
+    # project-level addopts already apply
+    pass
+
+
+@pytest.fixture(scope="session")
+def experiment_artifacts():
+    """The full pipeline on the EXPERIMENTS.md dataset (built once)."""
+    return run_pipeline(paper_profile(), EXPERIMENT_SEED)
+
+
+@pytest.fixture(scope="session")
+def experiment_dataset(experiment_artifacts):
+    return experiment_artifacts.dataset

@@ -1,0 +1,29 @@
+"""A1-A4 -- ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation removes one ingredient (rater-reputation weighting,
+experience discount, one affinity signal, per-user generousness) and
+re-runs the Table-4 methodology on the same dataset.
+"""
+
+from repro.experiments.ablations import render_ablations, run_ablations
+
+
+def test_ablations_regenerate(experiment_dataset, benchmark):
+    results = benchmark.pedantic(
+        run_ablations, args=(experiment_dataset,), rounds=1, iterations=1
+    )
+
+    assert len(results) == 6
+    default = results[0]
+    assert default.name == "default (paper)"
+    assert default.metrics.recall > 0.7
+
+    by_name = {result.name: result for result in results}
+    # single-signal affinity must not beat the paper's combined signal by a
+    # wide margin on AUC (the combination is the paper's design choice)
+    combined_auc = default.auc
+    for name in ("A3 affinity: ratings only", "A3 affinity: writing only"):
+        assert by_name[name].auc < combined_auc + 0.05
+
+    print()
+    print(render_ablations(results))

@@ -1,0 +1,65 @@
+"""Performance benchmarks of the framework's computational kernels.
+
+Not a paper artefact: these measure the cost of each pipeline stage so
+regressions in the fixed-point solver, affiliation counting or the
+derivation product are caught.
+"""
+
+import pytest
+
+from repro.affinity import AffinityEstimator
+from repro.datasets import CommunityProfile, generate_community
+from repro.reputation import ExpertiseEstimator, solve_category
+from repro.trust import TrustDeriver, direct_connection_matrix
+
+
+@pytest.fixture(scope="module")
+def perf_dataset():
+    return generate_community(CommunityProfile(num_users=400), seed=5)
+
+
+@pytest.fixture(scope="module")
+def perf_matrices(perf_dataset):
+    community = perf_dataset.community
+    expertise = ExpertiseEstimator().fit(community)
+    affiliation = AffinityEstimator().fit(community)
+    return affiliation, expertise.expertise
+
+
+def test_perf_riggs_fixed_point(perf_dataset, benchmark):
+    community = perf_dataset.community
+    category = community.category_ids()[0]
+    triples = community.rating_triples(category)
+    result = benchmark(solve_category, triples)
+    assert result.iterations >= 1
+
+
+def test_perf_expertise_all_categories(perf_dataset, benchmark):
+    result = benchmark.pedantic(
+        ExpertiseEstimator().fit, args=(perf_dataset.community,), rounds=2, iterations=1
+    )
+    assert result.expertise.shape[0] == 400
+
+
+def test_perf_affiliation(perf_dataset, benchmark):
+    matrix = benchmark(AffinityEstimator().fit, perf_dataset.community)
+    assert matrix.shape[0] == 400
+
+
+def test_perf_trust_derivation(perf_matrices, benchmark):
+    affiliation, expertise = perf_matrices
+    derived = benchmark(TrustDeriver().derive, affiliation, expertise)
+    assert derived.num_entries() > 0
+
+
+def test_perf_direct_connections(perf_dataset, benchmark):
+    matrix = benchmark(direct_connection_matrix, perf_dataset.community)
+    assert matrix.num_entries() > 0
+
+
+def test_perf_generation_scales(benchmark):
+    profile = CommunityProfile(num_users=200)
+    dataset = benchmark.pedantic(
+        generate_community, args=(profile,), kwargs={"seed": 1}, rounds=2, iterations=1
+    )
+    assert dataset.community.num_users() == 200

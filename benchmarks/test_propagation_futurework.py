@@ -1,0 +1,30 @@
+"""E6 -- §V future work: propagation over explicit vs derived webs.
+
+Shape requirement: propagation over the rating-derived web of trust must
+agree with propagation over the explicit web far better than chance (rank
+correlation and top-k overlap clearly positive) -- otherwise the derived
+web would be useless as a substitute substrate.
+"""
+
+from repro.experiments import (
+    render_propagation_comparison,
+    run_propagation_comparison,
+)
+
+
+def test_propagation_comparison_regenerates(experiment_artifacts, benchmark):
+    result = benchmark.pedantic(
+        run_propagation_comparison,
+        args=(experiment_artifacts,),
+        kwargs={"top_k": 25, "num_sources": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert result.eigentrust_rank_correlation > 0.2
+    assert result.eigentrust_top_k_overlap > 0.2
+    assert result.appleseed_sources > 0
+
+    print()
+    print(render_propagation_comparison(result))
+    print("(paper §V proposes exactly this comparison as future work)")

@@ -1,0 +1,27 @@
+"""A5 -- reputation-model comparison (extension ablation).
+
+The paper adopts Riggs' model without comparison; this bench checks it
+actually beats plain mean-received reputation and pure activity volume
+on the paper's own Table-2/3 methodology.
+"""
+
+from repro.experiments.reputation_baselines import (
+    render_reputation_baselines,
+    run_reputation_baselines,
+)
+
+
+def test_reputation_baselines_regenerate(experiment_artifacts, benchmark):
+    result = benchmark.pedantic(
+        run_reputation_baselines, args=(experiment_artifacts,), rounds=1, iterations=1
+    )
+
+    riggs_raters = result.rater_q1["riggs (paper)"]
+    riggs_writers = result.writer_q1["riggs (paper)"]
+    for baseline in ("mean received", "activity volume"):
+        assert riggs_raters > result.rater_q1[baseline]
+        assert riggs_writers > result.writer_q1[baseline]
+
+    print()
+    print(render_reputation_baselines(result))
+    print("(the Riggs fixed point earns its keep over counting and averaging)")

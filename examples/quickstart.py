@@ -1,0 +1,97 @@
+"""Quickstart: derive a web of trust from rating data in four steps.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a small review community by hand, runs the three framework steps
+(expertise -> affiliation -> derivation), and prints the degree of trust
+between users who never expressed any trust at all.
+"""
+
+from repro import (
+    Community,
+    ExpertiseEstimator,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    affiliation_matrix,
+    derive_trust,
+)
+
+
+def build_community() -> Community:
+    """A tiny movie/book community: two experts, three readers."""
+    community = Community("quickstart")
+    for user in ("ana", "ben", "cleo", "dan", "eva"):
+        community.add_user(user)
+    community.add_category("movies")
+    community.add_category("books")
+
+    for object_id, category in [
+        ("matrix", "movies"),
+        ("dune-film", "movies"),
+        ("dune-book", "books"),
+    ]:
+        community.add_object(ReviewedObject(object_id, category))
+
+    # ana writes excellent movie reviews, ben writes a mediocre one,
+    # cleo writes the only book review
+    community.add_review(Review("r-ana-1", "ana", "matrix"))
+    community.add_review(Review("r-ana-2", "ana", "dune-film"))
+    community.add_review(Review("r-ben-1", "ben", "matrix"))
+    community.add_review(Review("r-cleo-1", "cleo", "dune-book"))
+
+    ratings = [
+        ("dan", "r-ana-1", 1.0),
+        ("eva", "r-ana-1", 1.0),
+        ("dan", "r-ana-2", 0.8),
+        ("eva", "r-ben-1", 0.4),
+        ("dan", "r-cleo-1", 0.8),
+        ("ben", "r-cleo-1", 1.0),
+    ]
+    for rater, review, value in ratings:
+        community.add_rating(ReviewRating(rater, review, value))
+    return community
+
+
+def main() -> None:
+    community = build_community()
+
+    # Step 1: per-category expertise from Riggs' reputation model (eqs. 1-3)
+    expertise = ExpertiseEstimator().fit(community)
+    print("Expertise E (writer reputation per category):")
+    for user in community.user_ids():
+        row = {
+            c: round(expertise.expertise.get(user, c), 3)
+            for c in community.category_ids()
+        }
+        print(f"  {user:5s} {row}")
+
+    # Step 2: per-category affinity from activity counts (eq. 4)
+    affinity = affiliation_matrix(community)
+    print("\nAffiliation A (activity-derived interest per category):")
+    for user in community.user_ids():
+        row = {c: round(affinity.get(user, c), 3) for c in community.category_ids()}
+        print(f"  {user:5s} {row}")
+
+    # Step 3: degree of trust = affinity-weighted expertise (eq. 5)
+    trust = derive_trust(affinity, expertise.expertise)
+    print("\nDerived degree of trust (no explicit trust ratings involved):")
+    for source in community.user_ids():
+        row = trust.row(source)
+        if not row:
+            continue
+        ranked = sorted(row.items(), key=lambda item: -item[1])
+        formatted = ", ".join(f"{target}={value:.3f}" for target, value in ranked)
+        print(f"  {source:5s} -> {formatted}")
+
+    # dan mostly rates movies, so he trusts the movie expert ana the most
+    dan_row = trust.row("dan")
+    assert max(dan_row, key=dan_row.get) == "ana"
+    print("\ndan's most trusted reviewer is ana -- the movie expert, "
+          "because dan's activity is movie-centric.")
+
+
+if __name__ == "__main__":
+    main()

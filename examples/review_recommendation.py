@@ -1,0 +1,72 @@
+"""Trust-aware review recommendation (the application the paper motivates).
+
+Run with::
+
+    python examples/review_recommendation.py
+
+Splits 20% of the helpfulness ratings off as a hidden test set, derives
+trust from the remaining data, and:
+
+1. recommends reviews to individual readers, gated by their *derived*
+   trust in each writer;
+2. predicts the held-out helpfulness ratings and compares the error
+   against global-mean and per-writer-mean baselines.
+"""
+
+from repro.datasets import CommunityProfile, generate_community, holdout_ratings
+from repro.experiments import run_pipeline
+from repro.recommend import TrustAwareRecommender, evaluate_predictions
+
+PROFILE = CommunityProfile(
+    num_users=400,
+    category_names=(
+        "Action/Adventure",
+        "Comedies",
+        "Dramas",
+        "Foreign films",
+        "Science/Fiction",
+    ),
+    objects_per_category=60,
+    num_advisors=10,
+    num_top_reviewers=14,
+)
+
+
+def main() -> None:
+    dataset = generate_community(PROFILE, seed=29)
+    train, held_out = holdout_ratings(dataset.community, 0.2, seed=1)
+    print(f"training on {train.num_ratings()} ratings, "
+          f"holding out {len(held_out)} for evaluation\n")
+
+    artifacts = run_pipeline(community=train)
+    recommender = TrustAwareRecommender(artifacts)
+
+    # --- personalised recommendations ------------------------------------
+    names = {
+        row["category_id"]: row["name"]
+        for row in train.database.table("categories").rows()
+    }
+    readers = [u for u in train.user_ids() if len(train.ratings_by_rater(u)) >= 10][:2]
+    for reader in readers:
+        print(f"top reviews for {reader}:")
+        for rec in recommender.recommend(reader, k=4):
+            print(
+                f"  {rec.review_id} by {rec.writer_id:9s} in {names[rec.category_id]:16s}"
+                f" score={rec.score:.3f} (quality={rec.quality:.2f},"
+                f" trust={rec.trust_in_writer:.2f})"
+            )
+        print()
+
+    # --- held-out rating prediction ---------------------------------------
+    report = evaluate_predictions(recommender, held_out)
+    print(f"held-out rating prediction over {report.count} ratings:")
+    print(f"  trust/quality model : MAE={report.model_mae:.4f}  RMSE={report.model_rmse:.4f}")
+    print(f"  per-writer mean     : MAE={report.writer_mean_mae:.4f}  RMSE={report.writer_mean_rmse:.4f}")
+    print(f"  global mean         : MAE={report.global_mean_mae:.4f}  RMSE={report.global_mean_rmse:.4f}")
+    assert report.beats_global_mean
+    print("\nthe framework's quality/expertise estimates predict unseen "
+          "helpfulness ratings better than the constant baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Step 2 of the paper: users' affiliation (affinity) for categories.
+
+A user's affinity for a category is measured from activity counts -- how
+many reviews they *rated* and how many they *wrote* in the category (eq. 4):
+
+.. math::
+
+    A_{ij} = \\frac{1}{2}\\Big(
+        \\frac{a^r_{ij}}{\\max_j a^r_{ij}} +
+        \\frac{a^w_{ij}}{\\max_j a^w_{ij}}
+    \\Big)
+
+Both terms are normalised by the user's *own* maximum across categories, so
+``A`` captures the relative importance of each category to that user, not
+absolute activity volume.
+"""
+
+from repro.affinity.affiliation import AffinityConfig, AffinityEstimator, affiliation_matrix
+
+__all__ = ["AffinityConfig", "AffinityEstimator", "affiliation_matrix"]

@@ -1,0 +1,89 @@
+"""Computation of the Users_Category Affiliation matrix ``A`` (eq. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.community import Community
+from repro.matrix import LabelIndex, UserCategoryMatrix
+
+__all__ = ["AffinityConfig", "AffinityEstimator", "affiliation_matrix"]
+
+_MODES = ("both", "ratings_only", "writing_only")
+
+
+@dataclass(frozen=True)
+class AffinityConfig:
+    """Configuration of the affiliation computation.
+
+    Parameters
+    ----------
+    mode:
+        Which activity signals enter eq. 4:
+
+        - ``"both"`` (the paper): mean of the normalised rating-count and
+          normalised writing-count terms;
+        - ``"ratings_only"`` / ``"writing_only"``: ablation A3 -- a single
+          normalised term.
+    """
+
+    mode: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValidationError(f"mode must be one of {_MODES}, got {self.mode!r}")
+
+
+class AffinityEstimator:
+    """Builds the affiliation matrix ``A`` from community activity counts."""
+
+    def __init__(self, config: AffinityConfig | None = None):
+        self.config = config or AffinityConfig()
+
+    def fit(self, community: Community) -> UserCategoryMatrix:
+        """Compute ``A`` for every (user, category) of ``community``.
+
+        A user with no activity of a given kind contributes 0 for that term
+        (the paper's max-normalisation is 0/0 there; zero is the only value
+        consistent with "no affinity evidence").
+        """
+        users = LabelIndex(community.user_ids())
+        categories = LabelIndex(community.category_ids())
+        num_users, num_categories = len(users), len(categories)
+
+        rating_counts = np.zeros((num_users, num_categories), dtype=np.float64)
+        writing_counts = np.zeros((num_users, num_categories), dtype=np.float64)
+        for c_pos, category_id in enumerate(categories):
+            for user_id, count in community.rating_counts(category_id).items():
+                rating_counts[users.position(user_id), c_pos] = count
+            for user_id, count in community.writing_counts(category_id).items():
+                writing_counts[users.position(user_id), c_pos] = count
+
+        values = _combine(rating_counts, writing_counts, self.config.mode)
+        return UserCategoryMatrix(users, categories, values)
+
+
+def affiliation_matrix(
+    community: Community, config: AffinityConfig | None = None
+) -> UserCategoryMatrix:
+    """Functional shorthand for ``AffinityEstimator(config).fit(community)``."""
+    return AffinityEstimator(config).fit(community)
+
+
+def _combine(rating_counts: np.ndarray, writing_counts: np.ndarray, mode: str) -> np.ndarray:
+    rating_term = _row_max_normalise(rating_counts)
+    writing_term = _row_max_normalise(writing_counts)
+    if mode == "ratings_only":
+        return rating_term
+    if mode == "writing_only":
+        return writing_term
+    return (rating_term + writing_term) / 2.0
+
+
+def _row_max_normalise(counts: np.ndarray) -> np.ndarray:
+    """Divide each row by its maximum; all-zero rows stay zero."""
+    row_max = counts.max(axis=1, keepdims=True)
+    return np.divide(counts, np.where(row_max > 0, row_max, 1.0))

@@ -1,0 +1,196 @@
+"""Command-line interface: ``repro-trust`` / ``python -m repro``.
+
+Subcommands
+-----------
+- ``generate`` -- write a synthetic community to extended-Epinions files;
+- ``stats`` -- describe a dataset (synthetic or loaded from files);
+- ``derive`` -- run the framework on an Epinions-format directory and
+  write the derived web of trust as ``source|target|value`` lines;
+- ``table2`` / ``table3`` / ``fig3`` / ``table4`` / ``score-gap`` /
+  ``ablations`` / ``propagation`` -- reproduce one experiment;
+- ``all`` -- run every experiment and print the full report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import (
+    dataset_stats,
+    generate_community,
+    load_epinions_community,
+    write_epinions_files,
+)
+from repro.experiments import (
+    EXPERIMENT_SEED,
+    paper_profile,
+    render_coverage,
+    render_fig3,
+    render_future_trust,
+    render_propagation_comparison,
+    render_score_gap,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_coverage,
+    run_fig3,
+    run_future_trust,
+    run_pipeline,
+    run_propagation_comparison,
+    run_score_gap,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.experiments.ablations import render_ablations, run_ablations
+from repro.reporting import render_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENT_NAMES = (
+    "table2",
+    "table3",
+    "fig3",
+    "table4",
+    "score-gap",
+    "ablations",
+    "propagation",
+    "coverage",
+    "future-trust",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trust",
+        description="Derive a web of trust from rating data (Kim et al., ICDEW 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic community")
+    _add_dataset_args(generate)
+    generate.add_argument("--out", required=True, help="output directory (Epinions format)")
+
+    stats = sub.add_parser("stats", help="describe a dataset")
+    _add_source_args(stats)
+
+    derive = sub.add_parser("derive", help="derive a web of trust from rating data")
+    _add_source_args(derive)
+    derive.add_argument("--out", required=True, help="output file (source|target|value)")
+    derive.add_argument(
+        "--min-trust", type=float, default=0.0, help="drop derived values <= this"
+    )
+
+    for name in _EXPERIMENT_NAMES:
+        experiment = sub.add_parser(name, help=f"reproduce {name}")
+        _add_dataset_args(experiment)
+
+    report = sub.add_parser("report", help="write the full markdown report")
+    _add_source_args(report)
+    report.add_argument("--out", required=True, help="output markdown file")
+    return parser
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=1200, help="community size")
+    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED, help="random seed")
+
+
+def _add_source_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dir", help="load an Epinions-format directory instead")
+    _add_dataset_args(parser)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "generate":
+        dataset = generate_community(paper_profile(args.users), args.seed)
+        write_epinions_files(dataset.community, args.out)
+        print(f"wrote {dataset.community.num_reviews()} reviews, "
+              f"{dataset.community.num_ratings()} ratings, "
+              f"{dataset.community.num_trust_edges()} trust edges to {args.out}", file=out)
+        return 0
+
+    if args.command == "stats":
+        community = _load_community(args)
+        stats = dataset_stats(community)
+        rows = [
+            ["users", stats.num_users],
+            ["categories", stats.num_categories],
+            ["objects", stats.num_objects],
+            ["reviews", stats.num_reviews],
+            ["ratings", stats.num_ratings],
+            ["trust edges", stats.num_trust_edges],
+            ["rating density (R)", f"{stats.rating_density:.5f}"],
+            ["trust density (T)", f"{stats.trust_density:.5f}"],
+            ["ratings per rated review", f"{stats.ratings_per_review:.2f}"],
+        ]
+        print(render_table(["statistic", "value"], rows, title="Dataset statistics"), file=out)
+        return 0
+
+    if args.command == "derive":
+        community = _load_community(args)
+        artifacts = run_pipeline(community=community)
+        count = 0
+        with open(args.out, "w", encoding="utf-8") as f:
+            for source, target, value in artifacts.derived.entries():
+                if value > args.min_trust:
+                    f.write(f"{source}|{target}|{value:.6f}\n")
+                    count += 1
+        print(f"wrote {count} derived trust edges to {args.out}", file=out)
+        return 0
+
+    if args.command == "report":
+        from repro.experiments import build_report
+
+        if args.dir:
+            artifacts = run_pipeline(community=load_epinions_community(args.dir))
+        else:
+            artifacts = run_pipeline(paper_profile(args.users), args.seed)
+        report_text = build_report(artifacts)
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report_text)
+        print(f"wrote report to {args.out}", file=out)
+        return 0
+
+    # experiment commands share one pipeline
+    artifacts = run_pipeline(paper_profile(args.users), args.seed)
+    sections: list[str] = []
+    if args.command in ("table2", "all"):
+        sections.append(render_table2(run_table2(artifacts)))
+    if args.command in ("table3", "all"):
+        sections.append(render_table3(run_table3(artifacts)))
+    if args.command in ("fig3", "all"):
+        sections.append(render_fig3(run_fig3(artifacts)))
+    if args.command in ("table4", "all"):
+        sections.append(render_table4(run_table4(artifacts)))
+    if args.command in ("score-gap", "all"):
+        sections.append(render_score_gap(run_score_gap(artifacts)))
+    if args.command in ("ablations", "all"):
+        sections.append(render_ablations(run_ablations(artifacts.dataset)))
+    if args.command in ("coverage", "all"):
+        sections.append(render_coverage(run_coverage(artifacts)))
+    if args.command in ("future-trust", "all"):
+        sections.append(render_future_trust(run_future_trust(artifacts)))
+    if args.command in ("propagation", "all"):
+        sections.append(
+            render_propagation_comparison(run_propagation_comparison(artifacts))
+        )
+    print("\n\n".join(sections), file=out)
+    return 0
+
+
+def _load_community(args: argparse.Namespace):
+    if args.dir:
+        return load_epinions_community(args.dir)
+    return generate_community(paper_profile(args.users), args.seed).community
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

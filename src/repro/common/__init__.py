@@ -1,0 +1,56 @@
+"""Shared low-level utilities used by every subsystem.
+
+This package deliberately contains nothing domain specific: error types,
+deterministic random-number helpers, validation helpers and identifier
+conventions.  Higher layers (:mod:`repro.store`, :mod:`repro.community`,
+:mod:`repro.reputation`, ...) build on top of it.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    IntegrityError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+from repro.common.identifiers import (
+    IdAllocator,
+    category_id,
+    object_id,
+    review_id,
+    user_id,
+)
+from repro.common.rng import RngFactory, spawn_rng
+from repro.common.validation import (
+    require,
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "SchemaError",
+    "IntegrityError",
+    "ConvergenceError",
+    "DatasetError",
+    "ConfigError",
+    "RngFactory",
+    "spawn_rng",
+    "require",
+    "require_type",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_fraction",
+    "IdAllocator",
+    "user_id",
+    "category_id",
+    "object_id",
+    "review_id",
+]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class.  Subclasses mark
+*which layer* failed:
+
+- :class:`ValidationError` -- a caller passed an out-of-contract argument.
+- :class:`SchemaError` -- a table schema was violated (wrong column set or
+  column type) in :mod:`repro.store`.
+- :class:`IntegrityError` -- a store-level integrity constraint failed
+  (duplicate primary key, dangling foreign key, unique-index collision).
+- :class:`ConvergenceError` -- an iterative solver exhausted its iteration
+  budget without reaching its tolerance.
+- :class:`DatasetError` -- a dataset file or generator configuration was
+  malformed.
+- :class:`ConfigError` -- an experiment/benchmark configuration was
+  inconsistent.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument violated the documented contract of a public API."""
+
+
+class SchemaError(ReproError):
+    """A row does not match the declared schema of a table."""
+
+
+class IntegrityError(ReproError):
+    """A store integrity constraint (PK / FK / unique index) was violated."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative fixed-point computation failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        The final residual (L-infinity change between sweeps).
+    tolerance:
+        The tolerance that was requested.
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float, tolerance: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+        self.tolerance = tolerance
+
+
+class DatasetError(ReproError):
+    """A dataset file was malformed or a generator profile is unusable."""
+
+
+class ConfigError(ReproError):
+    """An experiment or benchmark configuration is internally inconsistent."""

@@ -1,0 +1,73 @@
+"""Identifier conventions and allocation.
+
+Entities throughout the library are identified by plain strings with a
+conventional prefix (``u``ser, ``c``ategory, ``o``bject, ``r``eview).  Using
+strings rather than bare ints keeps accidental cross-entity mix-ups loud in
+tests and in stored files, while remaining trivially JSON/CSV serialisable.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.errors import ValidationError
+
+__all__ = ["user_id", "category_id", "object_id", "review_id", "IdAllocator"]
+
+
+def user_id(index: int) -> str:
+    """Canonical user identifier for numeric ``index`` (``u000042`` style)."""
+    return _format_id("u", index)
+
+
+def category_id(index: int) -> str:
+    """Canonical category identifier for numeric ``index``."""
+    return _format_id("c", index)
+
+
+def object_id(index: int) -> str:
+    """Canonical object (reviewed item) identifier for numeric ``index``."""
+    return _format_id("o", index)
+
+
+def review_id(index: int) -> str:
+    """Canonical review identifier for numeric ``index``."""
+    return _format_id("r", index)
+
+
+def _format_id(prefix: str, index: int) -> str:
+    if not isinstance(index, int) or isinstance(index, bool):
+        raise ValidationError(f"id index must be an int, got {type(index).__name__}")
+    if index < 0:
+        raise ValidationError(f"id index must be >= 0, got {index}")
+    return f"{prefix}{index:06d}"
+
+
+class IdAllocator:
+    """Monotonic allocator for one identifier family.
+
+    >>> alloc = IdAllocator("r")
+    >>> alloc.next()
+    'r000000'
+    >>> alloc.next()
+    'r000001'
+    """
+
+    def __init__(self, prefix: str, *, start: int = 0):
+        if not prefix or not prefix.isalpha():
+            raise ValidationError(f"prefix must be alphabetic, got {prefix!r}")
+        if start < 0:
+            raise ValidationError(f"start must be >= 0, got {start}")
+        self._prefix = prefix
+        self._counter = itertools.count(start)
+        self._last: int | None = None
+
+    def next(self) -> str:
+        """Allocate and return the next identifier."""
+        self._last = next(self._counter)
+        return f"{self._prefix}{self._last:06d}"
+
+    @property
+    def allocated(self) -> int:
+        """Number of identifiers allocated so far."""
+        return 0 if self._last is None else self._last + 1

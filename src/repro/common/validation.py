@@ -1,0 +1,95 @@
+"""Small argument-validation helpers.
+
+Every helper raises :class:`repro.common.errors.ValidationError` with a
+message naming the offending parameter, so call sites stay one-liners::
+
+    require_fraction("tolerance", tolerance)
+    require_positive("max_iter", max_iter)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "require",
+    "require_type",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_fraction",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Require ``value`` to be an instance of ``expected``.
+
+    ``bool`` is rejected where a numeric type is expected, because ``True``
+    silently behaving as ``1`` hides caller bugs.
+    """
+    if isinstance(value, bool) and expected in (int, float, (int, float)):
+        raise ValidationError(f"{name} must be {_type_name(expected)}, got bool")
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be {_type_name(expected)}, got {type(value).__name__}"
+        )
+
+
+def require_positive(name: str, value: float | int) -> None:
+    """Require a finite value strictly greater than zero."""
+    _require_finite_number(name, value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(name: str, value: float | int) -> None:
+    """Require a finite value greater than or equal to zero."""
+    _require_finite_number(name, value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_in_range(
+    name: str,
+    value: float | int,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> None:
+    """Require ``low <= value <= high`` (or strict, if ``inclusive=False``)."""
+    _require_finite_number(name, value)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValidationError(f"{name} must be in {bounds}, got {value!r}")
+
+
+def require_fraction(name: str, value: float | int) -> None:
+    """Require ``0 <= value <= 1``."""
+    require_in_range(name, value, 0.0, 1.0)
+
+
+def _require_finite_number(name: str, value: Any) -> None:
+    require_type(name, value, (int, float))
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+
+
+def _type_name(expected: type | tuple[type, ...]) -> str:
+    if isinstance(expected, tuple):
+        return " or ".join(t.__name__ for t in expected)
+    return expected.__name__

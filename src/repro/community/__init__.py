@@ -1,0 +1,37 @@
+"""Domain model of a review community (the paper's data substrate).
+
+A :class:`Community` holds users, categories, reviewed objects, reviews,
+review ratings and (optionally) explicit trust statements, with the
+integrity rules of an Epinions-style site enforced:
+
+- a user writes **at most one review per object** (paper §III.B);
+- review ratings come from the 5-step helpfulness scale
+  ``{0.2, 0.4, 0.6, 0.8, 1.0}`` (paper §IV.A);
+- a user may rate a given review at most once, and never their own review;
+- every review belongs to an object, every object to a category.
+
+The community is backed by :class:`repro.store.Database`, so all referential
+integrity is checked at insert time.
+"""
+
+from repro.community.community import Community
+from repro.community.model import (
+    HELPFULNESS_SCALE,
+    Category,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    TrustStatement,
+    User,
+)
+
+__all__ = [
+    "Community",
+    "User",
+    "Category",
+    "ReviewedObject",
+    "Review",
+    "ReviewRating",
+    "TrustStatement",
+    "HELPFULNESS_SCALE",
+]

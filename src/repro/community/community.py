@@ -1,0 +1,442 @@
+"""The :class:`Community` aggregate: storage + integrity + typed queries.
+
+This is the one object the reputation/affinity/trust layers consume.  It
+exposes exactly the access patterns the paper's formulas need:
+
+- reviews written per (user, category) -- eq. 3 and eq. 4's ``a^w``;
+- ratings given per (user, category) -- eq. 2's ``n_u`` and eq. 4's ``a^r``;
+- the ratings received by each review, with rater identity -- eq. 1;
+- the direct-connection relation ``R`` (*i* rated some review of *j*) and
+  per-pair rating averages -- the paper's baseline ``B`` (§IV.C);
+- the explicit web of trust ``T`` when available (ground truth, §IV).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.common.errors import IntegrityError, ValidationError
+from repro.community.model import (
+    Category,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    TrustStatement,
+    User,
+)
+from repro.store import Column, Database, ForeignKey, Schema
+
+__all__ = ["Community"]
+
+
+def _build_database(name: str) -> Database:
+    db = Database(name)
+    db.create_table(
+        Schema(
+            name="users",
+            columns=[Column("user_id", str), Column("name", str, nullable=True)],
+            primary_key=("user_id",),
+        )
+    )
+    db.create_table(
+        Schema(
+            name="categories",
+            columns=[Column("category_id", str), Column("name", str, nullable=True)],
+            primary_key=("category_id",),
+        )
+    )
+    db.create_table(
+        Schema(
+            name="objects",
+            columns=[
+                Column("object_id", str),
+                Column("category_id", str),
+                Column("title", str, nullable=True),
+            ],
+            primary_key=("object_id",),
+            foreign_keys=(ForeignKey("category_id", "categories"),),
+        )
+    )
+    db.create_table(
+        Schema(
+            name="reviews",
+            columns=[
+                Column("review_id", str),
+                Column("writer_id", str),
+                Column("object_id", str),
+                Column("category_id", str),  # denormalised from the object
+            ],
+            primary_key=("review_id",),
+            foreign_keys=(
+                ForeignKey("writer_id", "users"),
+                ForeignKey("object_id", "objects"),
+                ForeignKey("category_id", "categories"),
+            ),
+            unique=(("writer_id", "object_id"),),  # one review per (writer, object)
+        )
+    )
+    db.create_table(
+        Schema(
+            name="ratings",
+            columns=[
+                Column("rater_id", str),
+                Column("review_id", str),
+                Column("category_id", str),  # denormalised from the review
+                Column("value", float),
+            ],
+            primary_key=("rater_id", "review_id"),
+            foreign_keys=(
+                ForeignKey("rater_id", "users"),
+                ForeignKey("review_id", "reviews"),
+                ForeignKey("category_id", "categories"),
+            ),
+        )
+    )
+    db.create_table(
+        Schema(
+            name="trust",
+            columns=[Column("truster_id", str), Column("trustee_id", str)],
+            primary_key=("truster_id", "trustee_id"),
+            foreign_keys=(
+                ForeignKey("truster_id", "users"),
+                ForeignKey("trustee_id", "users"),
+            ),
+        )
+    )
+    reviews = db.table("reviews")
+    reviews.create_index("category_id")
+    reviews.create_index("writer_id")
+    reviews.create_index("writer_id", "category_id")
+    ratings = db.table("ratings")
+    ratings.create_index("review_id")
+    ratings.create_index("rater_id")
+    ratings.create_index("category_id")
+    ratings.create_index("rater_id", "category_id")
+    objects = db.table("objects")
+    objects.create_index("category_id")
+    trust = db.table("trust")
+    trust.create_index("truster_id")
+    return db
+
+
+class Community:
+    """An Epinions-style review community.
+
+    All writes go through typed ``add_*`` methods that enforce domain rules
+    on top of the store's referential integrity.
+    """
+
+    def __init__(self, name: str = "community"):
+        self._db = _build_database(name)
+        self.name = name
+
+    # ------------------------------------------------------------------ writes
+
+    def add_user(self, user: User | str, name: str = "") -> User:
+        """Register a user (accepts a :class:`User` or a bare id)."""
+        if isinstance(user, str):
+            user = User(user_id=user, name=name)
+        self._db.insert("users", {"user_id": user.user_id, "name": user.name})
+        return user
+
+    def add_category(self, category: Category | str, name: str = "") -> Category:
+        """Register a category (accepts a :class:`Category` or a bare id)."""
+        if isinstance(category, str):
+            category = Category(category_id=category, name=name)
+        self._db.insert(
+            "categories", {"category_id": category.category_id, "name": category.name}
+        )
+        return category
+
+    def add_object(self, obj: ReviewedObject) -> ReviewedObject:
+        """Register a reviewable object under its category."""
+        self._db.insert(
+            "objects",
+            {
+                "object_id": obj.object_id,
+                "category_id": obj.category_id,
+                "title": obj.title,
+            },
+        )
+        return obj
+
+    def add_review(self, review: Review) -> Review:
+        """Record a review; its category is inherited from the object.
+
+        Raises :class:`IntegrityError` when the writer already reviewed the
+        object (the paper: "a user is often allowed to write only one review
+        on an object").
+        """
+        obj = self._db.table("objects").maybe_get(review.object_id)
+        if obj is None:
+            raise IntegrityError(f"review references unknown object {review.object_id!r}")
+        self._db.insert(
+            "reviews",
+            {
+                "review_id": review.review_id,
+                "writer_id": review.writer_id,
+                "object_id": review.object_id,
+                "category_id": obj["category_id"],
+            },
+        )
+        return review
+
+    def add_rating(self, rating: ReviewRating) -> ReviewRating:
+        """Record a helpfulness rating of a review.
+
+        Domain rules: the rater must not be the review's writer, and each
+        (rater, review) pair may appear at most once (the primary key).
+        """
+        review = self._db.table("reviews").maybe_get(rating.review_id)
+        if review is None:
+            raise IntegrityError(f"rating references unknown review {rating.review_id!r}")
+        if review["writer_id"] == rating.rater_id:
+            raise IntegrityError(
+                f"user {rating.rater_id!r} cannot rate their own review {rating.review_id!r}"
+            )
+        self._db.insert(
+            "ratings",
+            {
+                "rater_id": rating.rater_id,
+                "review_id": rating.review_id,
+                "category_id": review["category_id"],
+                "value": rating.value,
+            },
+        )
+        return rating
+
+    def add_trust(self, statement: TrustStatement) -> TrustStatement:
+        """Record an explicit (binary) trust statement."""
+        self._db.insert(
+            "trust",
+            {"truster_id": statement.truster_id, "trustee_id": statement.trustee_id},
+        )
+        return statement
+
+    # ------------------------------------------------------------------ reads
+
+    @property
+    def database(self) -> Database:
+        """The underlying store (read access for diagnostics and tests)."""
+        return self._db
+
+    def user_ids(self) -> list[str]:
+        """All user ids, in registration order."""
+        return self._db.table("users").distinct("user_id")
+
+    def category_ids(self) -> list[str]:
+        """All category ids, in registration order."""
+        return self._db.table("categories").distinct("category_id")
+
+    def object_ids(self, category_id: str | None = None) -> list[str]:
+        """Object ids, optionally restricted to one category."""
+        table = self._db.table("objects")
+        if category_id is None:
+            return table.distinct("object_id")
+        return [row["object_id"] for row in table.find(category_id=category_id)]
+
+    def has_user(self, user_id: str) -> bool:
+        """Whether ``user_id`` is registered."""
+        return self._db.table("users").contains(user_id)
+
+    def num_users(self) -> int:
+        """Number of registered users."""
+        return len(self._db.table("users"))
+
+    def num_categories(self) -> int:
+        """Number of registered categories."""
+        return len(self._db.table("categories"))
+
+    def num_reviews(self, category_id: str | None = None) -> int:
+        """Number of reviews (optionally within one category)."""
+        table = self._db.table("reviews")
+        if category_id is None:
+            return len(table)
+        return table.count(category_id=category_id)
+
+    def num_ratings(self, category_id: str | None = None) -> int:
+        """Number of review ratings (optionally within one category)."""
+        table = self._db.table("ratings")
+        if category_id is None:
+            return len(table)
+        return table.count(category_id=category_id)
+
+    def reviews_in_category(self, category_id: str) -> list[Review]:
+        """All reviews written in ``category_id``."""
+        self._require_category(category_id)
+        return [
+            Review(
+                review_id=row["review_id"],
+                writer_id=row["writer_id"],
+                object_id=row["object_id"],
+            )
+            for row in self._db.table("reviews").find(category_id=category_id)
+        ]
+
+    def review_category(self, review_id: str) -> str:
+        """The category a review belongs to."""
+        row = self._db.table("reviews").maybe_get(review_id)
+        if row is None:
+            raise ValidationError(f"unknown review {review_id!r}")
+        return row["category_id"]
+
+    def review_writer(self, review_id: str) -> str:
+        """The writer of a review."""
+        row = self._db.table("reviews").maybe_get(review_id)
+        if row is None:
+            raise ValidationError(f"unknown review {review_id!r}")
+        return row["writer_id"]
+
+    def ratings_of_review(self, review_id: str) -> list[tuple[str, float]]:
+        """``(rater_id, value)`` pairs for one review, in insertion order."""
+        return [
+            (row["rater_id"], row["value"])
+            for row in self._db.table("ratings").find(review_id=review_id)
+        ]
+
+    def reviews_by_writer(self, writer_id: str, category_id: str | None = None) -> list[str]:
+        """Review ids written by ``writer_id`` (optionally in one category)."""
+        table = self._db.table("reviews")
+        if category_id is None:
+            rows = table.find(writer_id=writer_id)
+        else:
+            rows = table.find(writer_id=writer_id, category_id=category_id)
+        return [row["review_id"] for row in rows]
+
+    def ratings_by_rater(
+        self, rater_id: str, category_id: str | None = None
+    ) -> list[tuple[str, float]]:
+        """``(review_id, value)`` pairs rated by ``rater_id``."""
+        table = self._db.table("ratings")
+        if category_id is None:
+            rows = table.find(rater_id=rater_id)
+        else:
+            rows = table.find(rater_id=rater_id, category_id=category_id)
+        return [(row["review_id"], row["value"]) for row in rows]
+
+    def writing_counts(self, category_id: str) -> dict[str, int]:
+        """``a^w``: reviews written per user in ``category_id`` (eq. 4)."""
+        self._require_category(category_id)
+        counts: dict[str, int] = {}
+        for row in self._db.table("reviews").find(category_id=category_id):
+            counts[row["writer_id"]] = counts.get(row["writer_id"], 0) + 1
+        return counts
+
+    def rating_counts(self, category_id: str) -> dict[str, int]:
+        """``a^r``: review ratings given per user in ``category_id`` (eq. 4)."""
+        self._require_category(category_id)
+        counts: dict[str, int] = {}
+        for row in self._db.table("ratings").find(category_id=category_id):
+            counts[row["rater_id"]] = counts.get(row["rater_id"], 0) + 1
+        return counts
+
+    def rating_triples(self, category_id: str) -> list[tuple[str, str, float]]:
+        """``(rater_id, review_id, value)`` triples given in ``category_id``.
+
+        This is exactly the input :func:`repro.reputation.solve_category`
+        consumes (paper eqs. 1-2 operate per category).
+        """
+        self._require_category(category_id)
+        return [
+            (row["rater_id"], row["review_id"], row["value"])
+            for row in self._db.table("ratings").find(category_id=category_id)
+        ]
+
+    def trust_edges(self) -> list[tuple[str, str]]:
+        """All explicit trust statements as ``(truster, trustee)`` pairs."""
+        return [
+            (row["truster_id"], row["trustee_id"])
+            for row in self._db.table("trust").rows()
+        ]
+
+    def trusts(self, truster_id: str, trustee_id: str) -> bool:
+        """Whether an explicit trust statement ``truster -> trustee`` exists."""
+        return self._db.table("trust").contains(truster_id, trustee_id)
+
+    def num_trust_edges(self) -> int:
+        """Number of explicit trust statements."""
+        return len(self._db.table("trust"))
+
+    def iter_ratings(self) -> Iterator[ReviewRating]:
+        """Iterate over every rating in the community."""
+        for row in self._db.table("ratings").rows():
+            yield ReviewRating(
+                rater_id=row["rater_id"],
+                review_id=row["review_id"],
+                value=row["value"],
+            )
+
+    def iter_reviews(self) -> Iterator[Review]:
+        """Iterate over every review in the community."""
+        for row in self._db.table("reviews").rows():
+            yield Review(
+                review_id=row["review_id"],
+                writer_id=row["writer_id"],
+                object_id=row["object_id"],
+            )
+
+    # -------------------------------------------------------- pairwise relations
+
+    def direct_connections(self) -> dict[tuple[str, str], list[float]]:
+        """The relation ``R`` with rating values attached.
+
+        Returns a map ``(rater i, writer j) -> [rating values i gave to
+        reviews of j]``.  ``R_ij = 1`` in the paper iff the pair is present.
+        The baseline ``B_ij`` is the mean of the value list.
+        """
+        writer_of: dict[str, str] = {
+            row["review_id"]: row["writer_id"]
+            for row in self._db.table("reviews").rows()
+        }
+        pairs: dict[tuple[str, str], list[float]] = {}
+        for row in self._db.table("ratings").rows():
+            writer = writer_of[row["review_id"]]
+            pairs.setdefault((row["rater_id"], writer), []).append(row["value"])
+        return pairs
+
+    # ------------------------------------------------------------------ bulk
+
+    @classmethod
+    def from_records(
+        cls,
+        *,
+        name: str = "community",
+        users: Iterable[User | str] = (),
+        categories: Iterable[Category | str] = (),
+        objects: Iterable[ReviewedObject] = (),
+        reviews: Iterable[Review] = (),
+        ratings: Iterable[ReviewRating] = (),
+        trust: Iterable[TrustStatement] = (),
+    ) -> "Community":
+        """Build a community from record iterables (order-safe)."""
+        community = cls(name)
+        for user in users:
+            community.add_user(user)
+        for cat in categories:
+            community.add_category(cat)
+        for obj in objects:
+            community.add_object(obj)
+        for review in reviews:
+            community.add_review(review)
+        for rating in ratings:
+            community.add_rating(rating)
+        for statement in trust:
+            community.add_trust(statement)
+        return community
+
+    def summary(self) -> dict[str, int]:
+        """Row counts of every entity kind."""
+        return self._db.stats()
+
+    # ------------------------------------------------------------------ internal
+
+    def _require_category(self, category_id: str) -> None:
+        if not self._db.table("categories").contains(category_id):
+            raise ValidationError(f"unknown category {category_id!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.summary()
+        return (
+            f"Community({self.name!r}: users={s['users']}, reviews={s['reviews']}, "
+            f"ratings={s['ratings']}, trust={s['trust']})"
+        )

@@ -1,0 +1,86 @@
+"""Latent ground-truth traits of the synthetic population.
+
+These are the quantities the paper's framework tries to *recover* from
+observable rating data.  They are exposed on the generated dataset so tests
+and experiments can validate estimators against ground truth (e.g. Table
+2/3 check that estimated reputation ranks latent experts highly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.matrix import LabelIndex
+
+__all__ = ["LatentTraits"]
+
+
+@dataclass(frozen=True)
+class LatentTraits:
+    """Per-user latent traits (aligned with the user/category axes).
+
+    Attributes
+    ----------
+    users / categories:
+        Axis labels; all arrays are indexed by their positions.
+    interest:
+        ``U x C`` rows on the simplex -- how much each user cares about each
+        category (the ground truth behind the affiliation matrix ``A``).
+    writer_skill:
+        Length-``U`` in ``[0, 1]`` -- expected quality of the user's reviews
+        (the ground truth behind expertise ``E``).
+    rater_reliability:
+        Length-``U`` in ``[0, 1]`` -- inverse rating noisiness (the ground
+        truth behind rater reputation).
+    generosity:
+        Length-``U`` in ``[0, 1]`` -- the fraction of direct connections the
+        user explicitly trusts (the ground truth behind ``k_i``).
+    """
+
+    users: LabelIndex
+    categories: LabelIndex
+    interest: np.ndarray
+    writer_skill: np.ndarray
+    rater_reliability: np.ndarray
+    generosity: np.ndarray
+
+    def __post_init__(self) -> None:
+        num_users, num_categories = len(self.users), len(self.categories)
+        if self.interest.shape != (num_users, num_categories):
+            raise ValidationError(
+                f"interest shape {self.interest.shape} != ({num_users}, {num_categories})"
+            )
+        for name in ("writer_skill", "rater_reliability", "generosity"):
+            arr = getattr(self, name)
+            if arr.shape != (num_users,):
+                raise ValidationError(f"{name} must have shape ({num_users},)")
+            if arr.size and (arr.min() < 0 or arr.max() > 1):
+                raise ValidationError(f"{name} values must lie in [0, 1]")
+
+    def interest_of(self, user_id: str) -> dict[str, float]:
+        """``{category: interest}`` for one user."""
+        row = self.interest[self.users.position(user_id)]
+        return {c: float(row[k]) for k, c in enumerate(self.categories)}
+
+    def skill_of(self, user_id: str) -> float:
+        """Latent writing skill of one user."""
+        return float(self.writer_skill[self.users.position(user_id)])
+
+    def reliability_of(self, user_id: str) -> float:
+        """Latent rating reliability of one user."""
+        return float(self.rater_reliability[self.users.position(user_id)])
+
+    def expertise_alignment(self, source_id: str, target_id: str) -> float:
+        """Ground-truth interest·skill alignment behind a trust decision.
+
+        ``sum_c interest(source, c) * skill(target) * interest(target, c)``
+        -- high when the target is a skilled writer concentrated in the
+        categories the source cares about.
+        """
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        overlap = float(self.interest[i] @ self.interest[j])
+        return overlap * float(self.writer_skill[j])

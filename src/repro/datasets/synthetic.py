@@ -1,0 +1,481 @@
+"""Latent-factor simulator of an Epinions-style community.
+
+The generative story (documented in DESIGN.md §2):
+
+1. every user gets latent *interest* over categories (Dirichlet, biased by
+   geometric category popularity), *writing skill* (Beta), *rating
+   reliability* (Beta), *generosity* (Beta) and heavy-tailed activity
+   levels;
+2. writers write reviews in categories drawn from their interest; each
+   review has a true quality = writer skill + per-review noise;
+3. raters rate reviews in categories drawn from their interest, preferring
+   higher-quality reviews (good reviews attract ratings); the observed
+   rating is the true quality plus reliability-scaled noise, quantised to
+   the 5-step helpfulness scale;
+4. each user's explicit trust edges go to writers whose latent
+   interest-skill *alignment* with the user is high -- mostly writers the
+   user has rated (``R ∩ T``), some never rated (``T - R``, word of
+   mouth), with a little uniform noise;
+5. "Advisors" and "Top Reviewers" are designated from latent reliability /
+   skill and activity volume, mimicking Epinions' editorial selection, and
+   deliberately *not* from anything the estimators under test compute.
+
+Everything is driven by named child streams of one seed, so a
+``(profile, seed)`` pair is fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.identifiers import IdAllocator, category_id, object_id, user_id
+from repro.common.rng import RngFactory
+from repro.community import (
+    Community,
+    HELPFULNESS_SCALE,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    TrustStatement,
+)
+from repro.datasets.latents import LatentTraits
+from repro.datasets.profile import CommunityProfile
+from repro.matrix import LabelIndex
+
+__all__ = ["SyntheticDataset", "generate_community"]
+
+_SCALE = np.asarray(HELPFULNESS_SCALE)
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A generated community plus its generating ground truth.
+
+    Attributes
+    ----------
+    community:
+        The observable data (users, reviews, ratings, explicit trust).
+    profile / seed:
+        Exactly reproduce the dataset via ``generate_community(profile, seed)``.
+    latents:
+        The hidden traits the framework tries to recover.
+    advisors / top_reviewers:
+        The simulator's editorial designations (inputs to Tables 2-3).
+    true_review_quality:
+        ``{review_id: latent quality}`` -- what the ratings noisily observe.
+    """
+
+    community: Community
+    profile: CommunityProfile
+    seed: int
+    latents: LatentTraits
+    advisors: tuple[str, ...]
+    top_reviewers: tuple[str, ...]
+    true_review_quality: dict[str, float]
+
+    def describe(self) -> dict[str, float]:
+        """Key size/density numbers for quick inspection."""
+        summary = self.community.summary()
+        num_users = summary["users"]
+        possible_pairs = max(num_users * (num_users - 1), 1)
+        return {
+            "users": float(summary["users"]),
+            "categories": float(summary["categories"]),
+            "reviews": float(summary["reviews"]),
+            "ratings": float(summary["ratings"]),
+            "trust_edges": float(summary["trust"]),
+            "trust_density": summary["trust"] / possible_pairs,
+            "advisors": float(len(self.advisors)),
+            "top_reviewers": float(len(self.top_reviewers)),
+        }
+
+
+def generate_community(
+    profile: CommunityProfile | None = None, seed: int = 0
+) -> SyntheticDataset:
+    """Generate a synthetic community from ``profile`` with ``seed``.
+
+    Deterministic: the same ``(profile, seed)`` pair always yields an
+    identical dataset, independent of the order other code consumes random
+    numbers.
+    """
+    profile = profile or CommunityProfile()
+    factory = RngFactory(seed)
+
+    users = [user_id(i) for i in range(profile.num_users)]
+    categories = [category_id(k) for k in range(profile.num_categories)]
+    user_axis = LabelIndex(users)
+    category_axis = LabelIndex(categories)
+
+    latents = _sample_latents(profile, factory, user_axis, category_axis)
+
+    community = Community("synthetic")
+    for uid in users:
+        community.add_user(uid)
+    for k, cid in enumerate(categories):
+        community.add_category(cid, profile.category_names[k])
+
+    objects_by_category = _create_objects(profile, community, categories)
+
+    reviews, review_quality, review_writer_idx, review_category_idx = _generate_reviews(
+        profile, factory, community, latents, objects_by_category
+    )
+    rated_writers = _generate_ratings(
+        profile,
+        factory,
+        community,
+        latents,
+        reviews,
+        review_quality,
+        review_writer_idx,
+        review_category_idx,
+    )
+    _generate_trust(profile, factory, community, latents, rated_writers)
+
+    advisors, top_reviewers = _designate_experts(profile, community, latents)
+
+    quality_by_id = {
+        review.review_id: float(review_quality[idx])
+        for idx, review in enumerate(reviews)
+    }
+    return SyntheticDataset(
+        community=community,
+        profile=profile,
+        seed=seed,
+        latents=latents,
+        advisors=advisors,
+        top_reviewers=top_reviewers,
+        true_review_quality=quality_by_id,
+    )
+
+
+# ----------------------------------------------------------------- latent traits
+
+
+def _sample_latents(
+    profile: CommunityProfile,
+    factory: RngFactory,
+    user_axis: LabelIndex,
+    category_axis: LabelIndex,
+) -> LatentTraits:
+    num_users = len(user_axis)
+    num_categories = len(category_axis)
+
+    rng = factory.child("latents")
+    popularity = profile.category_weight_decay ** np.arange(num_categories)
+    alpha = profile.interest_concentration * num_categories * popularity / popularity.sum()
+    interest = rng.dirichlet(alpha, size=num_users)
+
+    writer_skill = rng.beta(
+        profile.writer_skill_alpha, profile.writer_skill_beta, size=num_users
+    )
+    rater_reliability = rng.beta(
+        profile.rater_reliability_alpha, profile.rater_reliability_beta, size=num_users
+    )
+    generosity = rng.beta(
+        profile.trust_generosity_alpha, profile.trust_generosity_beta, size=num_users
+    )
+    return LatentTraits(
+        users=user_axis,
+        categories=category_axis,
+        interest=interest,
+        writer_skill=writer_skill,
+        rater_reliability=rater_reliability,
+        generosity=generosity,
+    )
+
+
+def _heavy_tail_counts(
+    rng: np.random.Generator, n: int, exponent: float, profile: CommunityProfile
+) -> np.ndarray:
+    """Zipf-distributed activity counts, capped at ``profile.activity_cap``.
+
+    Real review-community activity is heavy-tailed: most users rate or
+    write once or twice, a few are hyperactive.  That shape is what lets
+    the experience discount of eqs. 2-3 separate casual users from the
+    committed ones (and is why Epinions' Advisors sit so far above the
+    per-category rater mass in Table 2).
+    """
+    return np.minimum(rng.zipf(exponent, size=n), profile.activity_cap)
+
+
+def _create_objects(
+    profile: CommunityProfile, community: Community, categories: list[str]
+) -> dict[str, list[str]]:
+    alloc = IdAllocator("o")
+    by_category: dict[str, list[str]] = {}
+    for cid in categories:
+        ids = []
+        for _ in range(profile.objects_per_category):
+            oid = alloc.next()
+            community.add_object(ReviewedObject(oid, cid))
+            ids.append(oid)
+        by_category[cid] = ids
+    return by_category
+
+
+# ----------------------------------------------------------------------- reviews
+
+
+def _generate_reviews(
+    profile: CommunityProfile,
+    factory: RngFactory,
+    community: Community,
+    latents: LatentTraits,
+    objects_by_category: dict[str, list[str]],
+):
+    rng = factory.child("reviews")
+    num_users = len(latents.users)
+    num_categories = len(latents.categories)
+
+    is_writer = rng.random(num_users) < profile.writer_fraction
+    review_counts = np.where(
+        is_writer,
+        _heavy_tail_counts(rng, num_users, profile.writer_activity_exponent, profile),
+        0,
+    )
+
+    uniform = np.full(num_categories, 1.0 / num_categories)
+    exploration = profile.writing_exploration
+
+    alloc = IdAllocator("r")
+    reviews: list[Review] = []
+    qualities: list[float] = []
+    writer_idx: list[int] = []
+    category_idx: list[int] = []
+    for i in range(num_users):
+        count = int(review_counts[i])
+        if count == 0:
+            continue
+        uid = latents.users.label(i)
+        taken: dict[int, set[str]] = {}
+        write_pref = (1.0 - exploration) * latents.interest[i] + exploration * uniform
+        chosen_categories = rng.choice(num_categories, size=count, p=write_pref)
+        for k in chosen_categories:
+            cid = latents.categories.label(int(k))
+            pool = objects_by_category[cid]
+            used = taken.setdefault(int(k), set())
+            available = [o for o in pool if o not in used]
+            if not available:
+                continue  # the user reviewed everything in this category
+            oid = available[int(rng.integers(len(available)))]
+            used.add(oid)
+            quality = float(
+                np.clip(latents.writer_skill[i] + rng.normal(0.0, 0.07), 0.02, 1.0)
+            )
+            review = Review(alloc.next(), uid, oid)
+            community.add_review(review)
+            reviews.append(review)
+            qualities.append(quality)
+            writer_idx.append(i)
+            category_idx.append(int(k))
+    return (
+        reviews,
+        np.asarray(qualities, dtype=np.float64),
+        np.asarray(writer_idx, dtype=np.int64),
+        np.asarray(category_idx, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------- ratings
+
+
+def _generate_ratings(
+    profile: CommunityProfile,
+    factory: RngFactory,
+    community: Community,
+    latents: LatentTraits,
+    reviews: list[Review],
+    review_quality: np.ndarray,
+    review_writer_idx: np.ndarray,
+    review_category_idx: np.ndarray,
+) -> dict[int, set[int]]:
+    """Generate helpfulness ratings; return ``{rater index: writer indexes rated}``."""
+    rng = factory.child("ratings")
+    num_users = len(latents.users)
+    num_categories = len(latents.categories)
+
+    reviews_in_category: dict[int, np.ndarray] = {
+        k: np.nonzero(review_category_idx == k)[0] for k in range(num_categories)
+    }
+    # quality-proportional attention: better reviews attract more raters
+    attention: dict[int, np.ndarray] = {}
+    for k, idxs in reviews_in_category.items():
+        if len(idxs):
+            weights = 0.2 + review_quality[idxs]
+            attention[k] = weights / weights.sum()
+
+    is_rater = rng.random(num_users) < profile.rater_fraction
+    rating_counts = np.where(
+        is_rater,
+        _heavy_tail_counts(rng, num_users, profile.rater_activity_exponent, profile),
+        0,
+    )
+
+    # browsing: what users *rate* mixes their interest with uniform exploration
+    uniform = np.full(num_categories, 1.0 / num_categories)
+    exploration = profile.rating_exploration
+
+    rated_writers: dict[int, set[int]] = {}
+    for i in range(num_users):
+        budget = int(rating_counts[i])
+        if budget == 0:
+            continue
+        uid = latents.users.label(i)
+        noise_scale = profile.rating_noise * (1.5 - latents.rater_reliability[i])
+        rated: set[int] = set()
+        browse = (1.0 - exploration) * latents.interest[i] + exploration * uniform
+        category_draws = rng.choice(num_categories, size=budget, p=browse)
+        for k in category_draws:
+            idxs = reviews_in_category.get(int(k))
+            if idxs is None or not len(idxs):
+                continue
+            r_pos = int(rng.choice(idxs, p=attention[int(k)]))
+            if r_pos in rated or review_writer_idx[r_pos] == i:
+                continue
+            rated.add(r_pos)
+            observed = review_quality[r_pos] + rng.normal(0.0, noise_scale)
+            value = float(_SCALE[np.abs(_SCALE - observed).argmin()])
+            community.add_rating(ReviewRating(uid, reviews[r_pos].review_id, value))
+            rated_writers.setdefault(i, set()).add(int(review_writer_idx[r_pos]))
+    return rated_writers
+
+
+# ------------------------------------------------------------------------- trust
+
+
+def _generate_trust(
+    profile: CommunityProfile,
+    factory: RngFactory,
+    community: Community,
+    latents: LatentTraits,
+    rated_writers: dict[int, set[int]],
+) -> None:
+    rng = factory.child("trust")
+    num_users = len(latents.users)
+
+    # latent per-category expertise: skill spread over the writer's interests
+    latent_expertise = latents.interest * latents.writer_skill[:, None]  # U x C
+    # any user who wrote at least one review is a potential trustee
+    writer_mask = np.zeros(num_users, dtype=bool)
+    for review in community.iter_reviews():
+        writer_mask[latents.users.position(review.writer_id)] = True
+
+    out_frac = profile.trust_out_of_connection_fraction
+    for i in range(num_users):
+        connected = np.array(sorted(rated_writers.get(i, set())), dtype=np.int64)
+        connected = connected[connected != i]
+        # exposure gate: only some connections have had the chance to become
+        # trust yet; the rest stay in R - T no matter how well aligned
+        if len(connected) and profile.trust_exposure < 1.0:
+            exposed_mask = rng.random(len(connected)) < profile.trust_exposure
+            connected = connected[exposed_mask]
+        num_in = _round_half_up(float(latents.generosity[i]) * len(connected))
+        alignment = latents.interest[i] @ latent_expertise.T  # length U
+        trusted: set[int] = set()
+
+        if num_in > 0 and len(connected):
+            trusted.update(
+                _weighted_sample(
+                    rng,
+                    connected,
+                    alignment[connected],
+                    num_in,
+                    sharpness=profile.trust_alignment_sharpness,
+                    noise=profile.trust_noise,
+                )
+            )
+
+        if out_frac > 0.0 and trusted:
+            num_out = _round_half_up(len(trusted) * out_frac / (1.0 - out_frac))
+            outside = np.nonzero(writer_mask)[0]
+            outside = outside[
+                ~np.isin(outside, connected) & (outside != i)
+            ]
+            if num_out > 0 and len(outside):
+                trusted.update(
+                    _weighted_sample(
+                        rng,
+                        outside,
+                        alignment[outside],
+                        num_out,
+                        sharpness=profile.trust_alignment_sharpness,
+                        noise=profile.trust_noise,
+                    )
+                )
+
+        uid = latents.users.label(i)
+        for j in sorted(trusted):
+            if j == i:
+                continue
+            community.add_trust(TrustStatement(uid, latents.users.label(int(j))))
+
+
+def _weighted_sample(
+    rng: np.random.Generator,
+    candidates: np.ndarray,
+    scores: np.ndarray,
+    count: int,
+    *,
+    sharpness: float,
+    noise: float,
+) -> list[int]:
+    """Sample ``count`` distinct candidates by sharpened score weights.
+
+    With probability ``noise`` each pick is uniform instead of weighted
+    (idiosyncratic trust).
+    """
+    count = min(count, len(candidates))
+    if count == 0:
+        return []
+    weights = np.power(np.maximum(scores, 1e-12), sharpness)
+    weights = weights / weights.sum()
+    uniform = np.full(len(candidates), 1.0 / len(candidates))
+    mixed = (1.0 - noise) * weights + noise * uniform
+    picked = rng.choice(len(candidates), size=count, replace=False, p=mixed)
+    return [int(candidates[p]) for p in picked]
+
+
+def _round_half_up(x: float) -> int:
+    return int(x + 0.5 + 1e-9)
+
+
+# ------------------------------------------------------------------ designations
+
+
+def _designate_experts(
+    profile: CommunityProfile, community: Community, latents: LatentTraits
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Pick Advisors / Top Reviewers from latent quality x observed quantity.
+
+    This mirrors Epinions' editorial criterion ("quality and quantity") but
+    uses *latent* reliability/skill for the quality half, keeping the
+    designation channel independent of the estimators under test.
+    """
+    num_users = len(latents.users)
+    ratings_given = np.zeros(num_users)
+    reviews_written = np.zeros(num_users)
+    for rating in community.iter_ratings():
+        ratings_given[latents.users.position(rating.rater_id)] += 1
+    for review in community.iter_reviews():
+        reviews_written[latents.users.position(review.writer_id)] += 1
+
+    # "quality and quantity": volume enters linearly for advisors (Epinions
+    # picks its *most active* reliable raters) and logarithmically for top
+    # reviewers (skill dominates once a writer is established)
+    advisor_score = latents.rater_reliability * ratings_given
+    advisor_score[ratings_given == 0] = -1.0
+    reviewer_score = latents.writer_skill * np.log1p(reviews_written)
+    reviewer_score[reviews_written == 0] = -1.0
+
+    advisors = _top_labels(latents.users, advisor_score, profile.num_advisors)
+    top_reviewers = _top_labels(latents.users, reviewer_score, profile.num_top_reviewers)
+    return advisors, top_reviewers
+
+
+def _top_labels(users: LabelIndex, scores: np.ndarray, count: int) -> tuple[str, ...]:
+    eligible = np.nonzero(scores >= 0.0)[0]
+    order = eligible[np.argsort(-scores[eligible], kind="stable")]
+    return tuple(users.label(int(i)) for i in order[:count])

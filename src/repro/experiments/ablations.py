@@ -1,0 +1,103 @@
+"""Ablations A1-A4 (DESIGN.md): which design choices earn their keep.
+
+Each ablation disables exactly one ingredient of the framework and
+re-evaluates Table 4 on the *same* dataset:
+
+- **A1 unweighted quality** -- eq. 1 without rater-reputation weighting;
+- **A2 no experience discount** -- eqs. 2-3 without ``1 - 1/(n+1)``;
+- **A3 single-signal affinity** -- eq. 4 from rating counts only / writing
+  counts only;
+- **A4 global k** -- one community-wide top-k fraction instead of the
+  per-user generousness ``k_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.affinity import AffinityConfig
+from repro.datasets import SyntheticDataset
+from repro.experiments.pipeline import PipelineArtifacts, run_pipeline
+from repro.metrics import TrustValidationMetrics, ranking_auc, validate_trust
+from repro.reputation import RiggsConfig
+from repro.reporting import format_float, render_table
+from repro.trust import binarize_top_k
+
+__all__ = ["AblationResult", "run_ablations", "render_ablations"]
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Table-4 metrics and AUC for one configuration."""
+
+    name: str
+    metrics: TrustValidationMetrics
+    auc: float
+
+
+def run_ablations(dataset: SyntheticDataset) -> list[AblationResult]:
+    """Run the full framework and every ablation on one dataset.
+
+    Returns the default configuration first, then A1-A4, each evaluated
+    with the paper's Table-4 methodology plus ranking AUC.
+    """
+    results: list[AblationResult] = []
+
+    default = run_pipeline(dataset=dataset)
+    results.append(_evaluate("default (paper)", default))
+
+    a1 = run_pipeline(
+        dataset=dataset, riggs_config=RiggsConfig(weight_by_rater_reputation=False)
+    )
+    results.append(_evaluate("A1 unweighted quality", a1))
+
+    a2 = run_pipeline(
+        dataset=dataset, riggs_config=RiggsConfig(experience_discount_enabled=False)
+    )
+    results.append(_evaluate("A2 no experience discount", a2))
+
+    a3r = run_pipeline(dataset=dataset, affinity_config=AffinityConfig(mode="ratings_only"))
+    results.append(_evaluate("A3 affinity: ratings only", a3r))
+    a3w = run_pipeline(dataset=dataset, affinity_config=AffinityConfig(mode="writing_only"))
+    results.append(_evaluate("A3 affinity: writing only", a3w))
+
+    results.append(_evaluate_global_k("A4 global k", default))
+    return results
+
+
+def _evaluate(name: str, artifacts: PipelineArtifacts) -> AblationResult:
+    metrics = validate_trust(
+        artifacts.derived_binary, artifacts.connections, artifacts.ground_truth
+    )
+    auc = ranking_auc(artifacts.derived, artifacts.connections, artifacts.ground_truth)
+    return AblationResult(name=name, metrics=metrics, auc=auc)
+
+
+def _evaluate_global_k(name: str, artifacts: PipelineArtifacts) -> AblationResult:
+    """A4: one community-wide k instead of per-user generousness."""
+    trust_in_r = len(artifacts.connections.intersect_support(artifacts.ground_truth))
+    total_r = artifacts.connections.num_entries()
+    global_k = trust_in_r / total_r if total_r else 0.0
+    binary = binarize_top_k(artifacts.derived, {}, default_k=global_k)
+    metrics = validate_trust(binary, artifacts.connections, artifacts.ground_truth)
+    auc = ranking_auc(artifacts.derived, artifacts.connections, artifacts.ground_truth)
+    return AblationResult(name=name, metrics=metrics, auc=auc)
+
+
+def render_ablations(results: list[AblationResult]) -> str:
+    """Render all ablation rows as aligned text."""
+    rows = [
+        [
+            result.name,
+            format_float(result.metrics.recall),
+            format_float(result.metrics.precision_in_r),
+            format_float(result.metrics.nontrust_as_trust_rate),
+            format_float(result.auc),
+        ]
+        for result in results
+    ]
+    return render_table(
+        ["Configuration", "recall", "precision", "non-trust as trust", "AUC"],
+        rows,
+        title="Ablations (Table-4 methodology on one dataset)",
+    )

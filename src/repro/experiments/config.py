@@ -1,0 +1,23 @@
+"""Shared experiment configuration.
+
+``paper_profile()`` is the synthetic stand-in for the paper's Video & DVD
+crawl: the same 12 sub-categories, Advisors/Top-Reviewer list sizes, and
+heavy-tailed activity, scaled to 1,200 users so every experiment runs in
+seconds on a laptop (the paper's 44,197 users would work too, just
+slower).  ``EXPERIMENT_SEED`` pins the dataset used by EXPERIMENTS.md and
+the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import CommunityProfile
+
+__all__ = ["paper_profile", "EXPERIMENT_SEED"]
+
+#: Seed used for all headline experiment numbers (EXPERIMENTS.md).
+EXPERIMENT_SEED = 7
+
+
+def paper_profile(num_users: int = 1200) -> CommunityProfile:
+    """The default experiment profile (scaled-down Video & DVD stand-in)."""
+    return CommunityProfile(num_users=num_users)

@@ -1,0 +1,37 @@
+"""Fig. 3: density of the derived matrix, ``R`` and the Epinions trust matrix."""
+
+from __future__ import annotations
+
+from repro.experiments.pipeline import PipelineArtifacts
+from repro.metrics import DensityReport, density_report
+from repro.reporting import render_table
+
+__all__ = ["run_fig3", "render_fig3"]
+
+
+def run_fig3(artifacts: PipelineArtifacts) -> DensityReport:
+    """Reproduce Fig. 3 on pipeline artifacts."""
+    return density_report(artifacts.derived, artifacts.connections, artifacts.ground_truth)
+
+
+def render_fig3(report: DensityReport) -> str:
+    """Render Fig. 3's counts as aligned text."""
+    rows = [
+        ["derived trust T-hat", report.derived_entries, f"{report.derived_density:.4f}"],
+        ["direct connections R", report.connection_entries, f"{report.connection_density:.4f}"],
+        ["explicit trust T", report.trust_entries, f"{report.trust_density:.4f}"],
+        ["trust within R (R ∩ T)", report.trust_in_connections, ""],
+        ["trust outside R (T - R)", report.trust_outside_connections, ""],
+        ["non-trust within R (R - T)", report.nontrust_in_connections, ""],
+    ]
+    table = render_table(
+        ["matrix / region", "entries", "density"],
+        rows,
+        title="Fig. 3: density of derived vs direct-connection vs trust matrices",
+    )
+    footer = (
+        f"\nT-hat is {report.densification_vs_trust:.1f}x denser than T "
+        f"and {report.densification_vs_connections:.1f}x denser than R "
+        f"({report.num_users} users)."
+    )
+    return table + footer

@@ -1,0 +1,122 @@
+"""Future-trust experiment: do the model's "false positives" come true?
+
+The paper defends its low precision by arguing that predicted-but-
+untrusted connections (``R - T``) "would become trust connectivity in
+the future".  With the simulator we can *check* that (E7 in
+EXPERIMENTS.md):
+
+1. run the pipeline at time t0 and take its predictions on ``R - T``;
+2. evolve the web of trust one exposure round (same latent preferences,
+   fresh randomness -- :func:`repro.datasets.evolution.evolve_trust`);
+3. compare the conversion rate of predicted vs unpredicted ``R - T``
+   edges.
+
+If the paper's reading is right, predicted edges must convert at a
+higher rate -- a *lift* above 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.evolution import evolve_trust
+from repro.experiments.pipeline import PipelineArtifacts
+from repro.common.errors import ConfigError
+from repro.reporting import format_float, format_percent, render_table
+
+__all__ = ["FutureTrustResult", "run_future_trust", "render_future_trust"]
+
+
+@dataclass(frozen=True)
+class FutureTrustResult:
+    """Conversion of today's ``R - T`` edges after one evolution round."""
+
+    predicted_edges: int
+    unpredicted_edges: int
+    predicted_converted: int
+    unpredicted_converted: int
+
+    @property
+    def predicted_rate(self) -> float:
+        """Conversion rate of the model's predicted ``R - T`` edges."""
+        return self.predicted_converted / self.predicted_edges if self.predicted_edges else 0.0
+
+    @property
+    def unpredicted_rate(self) -> float:
+        """Conversion rate of ``R - T`` edges the model did not predict."""
+        return (
+            self.unpredicted_converted / self.unpredicted_edges
+            if self.unpredicted_edges
+            else 0.0
+        )
+
+    @property
+    def lift(self) -> float:
+        """``predicted_rate / unpredicted_rate`` (> 1 supports the paper)."""
+        if self.unpredicted_rate == 0.0:
+            return float("inf") if self.predicted_rate > 0 else 0.0
+        return self.predicted_rate / self.unpredicted_rate
+
+
+def run_future_trust(
+    artifacts: PipelineArtifacts,
+    *,
+    conversion_fraction: float = 0.5,
+    seed: int = 1,
+) -> FutureTrustResult:
+    """Run the future-trust check on pipeline artifacts.
+
+    Requires a synthetic dataset (the evolution replays latent traits).
+    """
+    if artifacts.dataset is None:
+        raise ConfigError("future-trust evolution requires a synthetic dataset")
+
+    evolution = evolve_trust(
+        artifacts.dataset, conversion_fraction=conversion_fraction, seed=seed
+    )
+    nontrust_in_r = artifacts.connections.subtract_support(artifacts.ground_truth)
+
+    predicted = unpredicted = 0
+    predicted_converted = unpredicted_converted = 0
+    for pair in nontrust_in_r:
+        converted = pair in evolution.new_edges
+        if artifacts.derived_binary.contains(*pair):
+            predicted += 1
+            predicted_converted += converted
+        else:
+            unpredicted += 1
+            unpredicted_converted += converted
+
+    return FutureTrustResult(
+        predicted_edges=predicted,
+        unpredicted_edges=unpredicted,
+        predicted_converted=predicted_converted,
+        unpredicted_converted=unpredicted_converted,
+    )
+
+
+def render_future_trust(result: FutureTrustResult) -> str:
+    """Render the future-trust check as aligned text."""
+    rows = [
+        [
+            "predicted trust (T-hat' = 1)",
+            result.predicted_edges,
+            result.predicted_converted,
+            format_percent(result.predicted_rate),
+        ],
+        [
+            "not predicted (T-hat' = 0)",
+            result.unpredicted_edges,
+            result.unpredicted_converted,
+            format_percent(result.unpredicted_rate),
+        ],
+    ]
+    table = render_table(
+        ["R - T edges today", "count", "became trust", "conversion rate"],
+        rows,
+        title="Future-trust check: do predicted non-trust edges convert? (paper §IV.C)",
+    )
+    return table + (
+        f"\nlift = {format_float(result.lift, 2)}x -- predicted edges convert "
+        f"{'more' if result.lift > 1 else 'less'} often (paper's reading: more)."
+    )

@@ -1,0 +1,98 @@
+"""One-shot markdown report of the complete reproduction.
+
+:func:`build_report` runs every experiment on one set of pipeline
+artifacts and assembles a self-contained markdown document (dataset
+summary, all tables/figures, extensions), ready to commit next to
+EXPERIMENTS.md or attach to a run.  ``repro-trust report --out FILE``
+exposes it from the command line.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import dataset_stats
+from repro.experiments.ablations import render_ablations, run_ablations
+from repro.experiments.coverage import render_coverage, run_coverage
+from repro.experiments.fig3 import render_fig3, run_fig3
+from repro.experiments.future_trust import render_future_trust, run_future_trust
+from repro.experiments.pipeline import PipelineArtifacts
+from repro.experiments.propagation_compare import (
+    render_propagation_comparison,
+    run_propagation_comparison,
+)
+from repro.experiments.score_gap import render_score_gap, run_score_gap
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.table4 import render_table4, run_table4
+
+__all__ = ["build_report"]
+
+
+def build_report(
+    artifacts: PipelineArtifacts,
+    *,
+    title: str = "Reproduction report",
+    include_extensions: bool = True,
+) -> str:
+    """Assemble the full markdown report for one pipeline run.
+
+    Parameters
+    ----------
+    include_extensions:
+        Include the sections beyond the paper's own artefacts (ablations,
+        path coverage, future-trust evolution, propagation comparison).
+        Tables 2/3 and the future-trust check need a synthetic dataset;
+        they are skipped automatically on external communities.
+    """
+    stats = dataset_stats(artifacts.community)
+    sections: list[str] = [f"# {title}", "", "## Dataset", ""]
+    sections.append(
+        f"- users: {stats.num_users}; categories: {stats.num_categories}; "
+        f"objects: {stats.num_objects}"
+    )
+    sections.append(
+        f"- reviews: {stats.num_reviews}; helpfulness ratings: {stats.num_ratings} "
+        f"({stats.ratings_per_review:.2f} per rated review)"
+    )
+    sections.append(
+        f"- explicit trust edges: {stats.num_trust_edges} "
+        f"(density {stats.trust_density:.5f} vs rating density "
+        f"{stats.rating_density:.5f})"
+    )
+    sections.append("")
+
+    synthetic = artifacts.dataset is not None
+    if synthetic:
+        _add(sections, "Table 2 — rater reputation", render_table2(run_table2(artifacts)))
+        _add(sections, "Table 3 — writer reputation", render_table3(run_table3(artifacts)))
+    _add(sections, "Fig. 3 — densities", render_fig3(run_fig3(artifacts)))
+    _add(sections, "Table 4 — trust validation", render_table4(run_table4(artifacts)))
+    _add(sections, "Score gap (§IV.C)", render_score_gap(run_score_gap(artifacts)))
+
+    if include_extensions:
+        if synthetic:
+            _add(
+                sections,
+                "Ablations A1–A4",
+                render_ablations(run_ablations(artifacts.dataset)),
+            )
+            _add(
+                sections,
+                "Future-trust evolution (E7)",
+                render_future_trust(run_future_trust(artifacts)),
+            )
+        _add(sections, "Path coverage (§II)", render_coverage(run_coverage(artifacts)))
+        _add(
+            sections,
+            "Propagation comparison (§V)",
+            render_propagation_comparison(run_propagation_comparison(artifacts)),
+        )
+    return "\n".join(sections) + "\n"
+
+
+def _add(sections: list[str], heading: str, body: str) -> None:
+    sections.append(f"## {heading}")
+    sections.append("")
+    sections.append("```text")
+    sections.append(body)
+    sections.append("```")
+    sections.append("")

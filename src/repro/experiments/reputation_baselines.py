@@ -1,0 +1,80 @@
+"""Reputation-model comparison: Riggs (the paper) vs simpler baselines.
+
+Runs the Table-2 and Table-3 methodology with three reputation models --
+the paper's Riggs fixed point, plain mean-received, and pure activity
+volume -- and compares the overall Q1 fraction of designated experts.
+Answers "does the iterative reputation machinery earn its keep over
+counting and averaging?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.experiments.pipeline import PipelineArtifacts
+from repro.matrix import UserCategoryMatrix
+from repro.metrics import quartile_distribution
+from repro.reporting import format_percent, render_table
+from repro.reputation.baselines import baseline_expertise, baseline_rater_reputation
+
+__all__ = ["ReputationComparison", "run_reputation_baselines", "render_reputation_baselines"]
+
+
+@dataclass(frozen=True)
+class ReputationComparison:
+    """Overall Q1 fractions per reputation model, raters and writers."""
+
+    rater_q1: dict[str, float]
+    writer_q1: dict[str, float]
+
+
+def run_reputation_baselines(artifacts: PipelineArtifacts) -> ReputationComparison:
+    """Compare Riggs vs baselines on the Table-2/3 methodology."""
+    if artifacts.dataset is None:
+        raise ConfigError("reputation baselines need the synthetic designations")
+    community = artifacts.community
+    advisors = list(artifacts.dataset.advisors)
+    reviewers = list(artifacts.dataset.top_reviewers)
+
+    rating_counts = {c: community.rating_counts(c) for c in community.category_ids()}
+    writing_counts = {c: community.writing_counts(c) for c in community.category_ids()}
+    rater_active = {c: list(counts) for c, counts in rating_counts.items()}
+    writer_active = {c: list(counts) for c, counts in writing_counts.items()}
+
+    def rater_q1(matrix: UserCategoryMatrix) -> float:
+        return quartile_distribution(matrix, advisors, rater_active).overall_q1_fraction
+
+    def writer_q1(matrix: UserCategoryMatrix) -> float:
+        return quartile_distribution(matrix, reviewers, writer_active).overall_q1_fraction
+
+    return ReputationComparison(
+        rater_q1={
+            "riggs (paper)": rater_q1(artifacts.rater_reputation),
+            "mean received": rater_q1(baseline_rater_reputation(community, "mean_received")),
+            "activity volume": rater_q1(baseline_rater_reputation(community, "activity")),
+        },
+        writer_q1={
+            "riggs (paper)": writer_q1(artifacts.expertise),
+            "mean received": writer_q1(baseline_expertise(community, "mean_received")),
+            "activity volume": writer_q1(baseline_expertise(community, "activity")),
+        },
+    )
+
+
+def render_reputation_baselines(result: ReputationComparison) -> str:
+    """Render the comparison as aligned text."""
+    rows = []
+    for name in result.rater_q1:
+        rows.append(
+            [
+                name,
+                format_percent(result.rater_q1[name]),
+                format_percent(result.writer_q1[name]),
+            ]
+        )
+    return render_table(
+        ["reputation model", "Advisors in Q1", "Top Reviewers in Q1"],
+        rows,
+        title="Reputation-model comparison (Table-2/3 methodology)",
+    )

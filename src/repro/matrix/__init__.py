@@ -1,0 +1,17 @@
+"""Typed matrices shared by all framework steps.
+
+The paper works with three matrix shapes:
+
+- ``U x C`` user-by-category matrices (Expertise ``E``, Affiliation ``A``) --
+  :class:`UserCategoryMatrix`, dense (``C`` is small);
+- ``U x U`` user-by-user matrices (derived trust ``T-hat``, baseline ``B``,
+  direct connections ``R``, ground-truth trust ``T``) --
+  :class:`UserPairMatrix`, sparse;
+- the id <-> index bookkeeping both need -- :class:`LabelIndex`.
+"""
+
+from repro.matrix.labels import LabelIndex
+from repro.matrix.pair import UserPairMatrix
+from repro.matrix.user_category import UserCategoryMatrix
+
+__all__ = ["LabelIndex", "UserCategoryMatrix", "UserPairMatrix"]

@@ -1,0 +1,70 @@
+"""Bidirectional label <-> position mapping for matrix axes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.common.errors import ValidationError
+
+__all__ = ["LabelIndex"]
+
+
+class LabelIndex:
+    """An ordered, immutable-after-construction axis of string labels.
+
+    >>> idx = LabelIndex(["u1", "u2", "u3"])
+    >>> idx.position("u2")
+    1
+    >>> idx.label(2)
+    'u3'
+    """
+
+    def __init__(self, labels: Iterable[str]):
+        self._labels: tuple[str, ...] = tuple(labels)
+        self._positions: dict[str, int] = {}
+        for pos, label in enumerate(self._labels):
+            if not isinstance(label, str) or not label:
+                raise ValidationError(f"labels must be non-empty strings, got {label!r}")
+            if label in self._positions:
+                raise ValidationError(f"duplicate label {label!r}")
+            self._positions[label] = pos
+
+    def position(self, label: str) -> int:
+        """The position of ``label`` on this axis."""
+        pos = self._positions.get(label)
+        if pos is None:
+            raise KeyError(f"unknown label {label!r}")
+        return pos
+
+    def label(self, position: int) -> str:
+        """The label at ``position``."""
+        if not 0 <= position < len(self._labels):
+            raise IndexError(f"position {position} out of range [0, {len(self._labels)})")
+        return self._labels[position]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """All labels, in axis order."""
+        return self._labels
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._positions
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelIndex):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = ", ".join(self._labels[:3])
+        tail = ", ..." if len(self._labels) > 3 else ""
+        return f"LabelIndex([{head}{tail}], n={len(self._labels)})"

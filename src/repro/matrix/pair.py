@@ -1,0 +1,219 @@
+"""Sparse user-by-user matrices (``T-hat``, ``B``, ``R``, ``T``)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.common.errors import ValidationError
+from repro.matrix.labels import LabelIndex
+
+__all__ = ["UserPairMatrix"]
+
+
+class UserPairMatrix:
+    """A sparse ``U x U`` matrix of user-pair values with named axes.
+
+    Stored as a dict-of-dicts (row-major) for cheap incremental construction
+    and row iteration, with conversion to :class:`scipy.sparse.csr_matrix`
+    for bulk numeric work.  An explicitly stored zero is allowed (meaning
+    "pair observed, value zero"), which matters when distinguishing
+    *observed non-trust* from *unobserved*; :meth:`nonzero_entries` and
+    :meth:`support` treat stored entries as present regardless of value.
+    """
+
+    def __init__(self, users: LabelIndex | Iterable[str]):
+        self.users = users if isinstance(users, LabelIndex) else LabelIndex(users)
+        self._rows: dict[int, dict[int, float]] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------ writes
+
+    def set(self, source_id: str, target_id: str, value: float) -> None:
+        """Store ``value`` for the (source, target) pair."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(f"pair value must be a number, got {value!r}")
+        if not np.isfinite(value):
+            raise ValidationError(f"pair value must be finite, got {value!r}")
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        row = self._rows.setdefault(i, {})
+        if j not in row:
+            self._count += 1
+        row[j] = float(value)
+
+    def accumulate(self, source_id: str, target_id: str, value: float) -> None:
+        """Add ``value`` onto the stored value (treating absent as 0)."""
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        row = self._rows.setdefault(i, {})
+        if j not in row:
+            self._count += 1
+            row[j] = 0.0
+        row[j] += float(value)
+
+    def discard(self, source_id: str, target_id: str) -> None:
+        """Remove a stored pair (no-op when absent)."""
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        row = self._rows.get(i)
+        if row is not None and j in row:
+            del row[j]
+            self._count -= 1
+            if not row:
+                del self._rows[i]
+
+    # ------------------------------------------------------------------ reads
+
+    def get(self, source_id: str, target_id: str, default: float = 0.0) -> float:
+        """Stored value for the pair, or ``default`` when absent."""
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        row = self._rows.get(i)
+        if row is None:
+            return default
+        return row.get(j, default)
+
+    def contains(self, source_id: str, target_id: str) -> bool:
+        """Whether the pair is explicitly stored (even with value 0)."""
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        row = self._rows.get(i)
+        return row is not None and j in row
+
+    def row(self, source_id: str) -> dict[str, float]:
+        """All stored targets of ``source_id`` as ``{target_id: value}``."""
+        i = self.users.position(source_id)
+        row = self._rows.get(i, {})
+        return {self.users.label(j): v for j, v in row.items()}
+
+    def row_size(self, source_id: str) -> int:
+        """Number of stored entries in the row of ``source_id``."""
+        return len(self._rows.get(self.users.position(source_id), {}))
+
+    def source_ids(self) -> list[str]:
+        """Users with at least one stored outgoing entry."""
+        return [self.users.label(i) for i in self._rows]
+
+    def entries(self) -> Iterator[tuple[str, str, float]]:
+        """Iterate over ``(source_id, target_id, value)`` triples."""
+        for i, row in self._rows.items():
+            source = self.users.label(i)
+            for j, value in row.items():
+                yield source, self.users.label(j), value
+
+    def num_entries(self) -> int:
+        """Number of stored pairs (including explicit zeros)."""
+        return self._count
+
+    def support(self) -> set[tuple[str, str]]:
+        """The set of stored ``(source, target)`` pairs."""
+        return {(s, t) for s, t, _ in self.entries()}
+
+    def density(self) -> float:
+        """Stored pairs divided by the ``U * (U - 1)`` possible ordered pairs."""
+        n = len(self.users)
+        possible = n * (n - 1)
+        if possible == 0:
+            return 0.0
+        return self._count / possible
+
+    def values(self) -> np.ndarray:
+        """All stored values as a flat array (row-major order)."""
+        out = np.empty(self._count, dtype=np.float64)
+        k = 0
+        for row in self._rows.values():
+            for value in row.values():
+                out[k] = value
+                k += 1
+        return out
+
+    # ------------------------------------------------------------------ algebra
+
+    def to_csr(self) -> sparse.csr_matrix:
+        """Convert to a ``scipy.sparse.csr_matrix`` (explicit zeros kept)."""
+        n = len(self.users)
+        data: list[float] = []
+        rows: list[int] = []
+        cols: list[int] = []
+        for i, row in self._rows.items():
+            for j, value in row.items():
+                rows.append(i)
+                cols.append(j)
+                data.append(value)
+        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    @classmethod
+    def from_csr(
+        cls,
+        matrix: sparse.spmatrix,
+        users: LabelIndex,
+        *,
+        keep_zeros: bool = False,
+    ) -> "UserPairMatrix":
+        """Build from a scipy sparse matrix over the same user axis."""
+        if matrix.shape != (len(users), len(users)):
+            raise ValidationError(
+                f"matrix shape {matrix.shape} does not match axis length {len(users)}"
+            )
+        coo = matrix.tocoo()
+        out = cls(users)
+        for i, j, v in zip(coo.row, coo.col, coo.data):
+            if v == 0.0 and not keep_zeros:
+                continue
+            out.set(users.label(int(i)), users.label(int(j)), float(v))
+        return out
+
+    @classmethod
+    def from_pairs(
+        cls,
+        users: LabelIndex | Iterable[str],
+        pairs: Mapping[tuple[str, str], float] | Iterable[tuple[str, str, float]],
+    ) -> "UserPairMatrix":
+        """Build from a mapping ``{(source, target): value}`` or triples."""
+        out = cls(users)
+        if isinstance(pairs, Mapping):
+            items: Iterable[tuple[str, str, float]] = (
+                (s, t, v) for (s, t), v in pairs.items()
+            )
+        else:
+            items = pairs
+        for source, target, value in items:
+            out.set(source, target, value)
+        return out
+
+    # ------------------------------------------------------------------ set ops
+
+    def intersect_support(self, other: "UserPairMatrix") -> set[tuple[str, str]]:
+        """Pairs stored in both matrices (paper's ``R ∩ T`` etc.)."""
+        self._require_same_axis(other)
+        return self.support() & other.support()
+
+    def subtract_support(self, other: "UserPairMatrix") -> set[tuple[str, str]]:
+        """Pairs stored here but not in ``other`` (paper's ``T − R`` etc.)."""
+        self._require_same_axis(other)
+        return self.support() - other.support()
+
+    def restrict_to(self, pairs: set[tuple[str, str]]) -> "UserPairMatrix":
+        """A new matrix keeping only the given pairs (values preserved)."""
+        out = UserPairMatrix(self.users)
+        for source, target, value in self.entries():
+            if (source, target) in pairs:
+                out.set(source, target, value)
+        return out
+
+    def _require_same_axis(self, other: "UserPairMatrix") -> None:
+        if self.users != other.users:
+            raise ValidationError("user axes differ; align matrices before set operations")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UserPairMatrix):
+            return NotImplemented
+        return self.users == other.users and dict(
+            ((s, t), v) for s, t, v in self.entries()
+        ) == dict(((s, t), v) for s, t, v in other.entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UserPairMatrix(users={len(self.users)}, entries={self._count})"

@@ -1,0 +1,87 @@
+"""Appleseed (Ziegler & Lausen 2004): spreading-activation trust metric.
+
+Energy is injected at a source node and flows along trust edges: each node
+keeps a ``1 - spreading_factor`` share of incoming energy as *trust rank*
+and forwards the rest to its successors proportionally to edge weights.
+Iteration continues until the flowing energy change falls below a
+threshold.  The result is a personalised trust ranking of all nodes
+reachable from the source -- the "spreading activation model" the paper
+cites for trust propagation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.common.errors import ConvergenceError, ValidationError
+from repro.common.validation import require_in_range, require_positive
+
+__all__ = ["appleseed"]
+
+
+def appleseed(
+    graph: nx.DiGraph,
+    source: str,
+    *,
+    weight_key: str = "trust",
+    energy: float = 200.0,
+    spreading_factor: float = 0.85,
+    tolerance: float = 1e-4,
+    max_iterations: int = 2000,
+) -> dict[str, float]:
+    """Compute Appleseed trust ranks from ``source``.
+
+    Parameters
+    ----------
+    energy:
+        Energy injected at the source (``in_0``); ranks scale linearly
+        with it.
+    spreading_factor:
+        Fraction of incoming energy a node forwards to its successors
+        (``d`` in the paper; 0.85 is the authors' recommendation).
+
+    Returns
+    -------
+    dict
+        ``{node: rank}`` for every node that received energy; the source
+        itself keeps rank 0 (it only distributes).
+    """
+    if source not in graph:
+        raise ValidationError(f"source {source!r} is not a graph node")
+    require_positive("energy", energy)
+    require_in_range("spreading_factor", spreading_factor, 0.0, 1.0, inclusive=False)
+    require_positive("tolerance", tolerance)
+
+    rank: dict[str, float] = {source: 0.0}
+    incoming: dict[str, float] = {source: energy}
+
+    for _ in range(max_iterations):
+        outgoing: dict[str, float] = {}
+        max_flow = 0.0
+        for node, flow in incoming.items():
+            if flow <= 0.0:
+                continue
+            successors = [
+                (target, float(data.get(weight_key, 1.0)))
+                for _, target, data in graph.out_edges(node, data=True)
+                if float(data.get(weight_key, 1.0)) > 0.0
+            ]
+            if node != source:
+                rank[node] = rank.get(node, 0.0) + (1.0 - spreading_factor) * flow
+            if not successors:
+                continue  # sink node: untransmitted energy is retained above
+            forwarded = flow if node == source else spreading_factor * flow
+            total_weight = sum(weight for _, weight in successors)
+            for target, weight in successors:
+                share = forwarded * weight / total_weight
+                outgoing[target] = outgoing.get(target, 0.0) + share
+                max_flow = max(max_flow, share)
+        incoming = outgoing
+        if max_flow < tolerance:
+            return rank
+    raise ConvergenceError(
+        f"Appleseed did not converge in {max_iterations} iterations",
+        iterations=max_iterations,
+        residual=max_flow,
+        tolerance=tolerance,
+    )

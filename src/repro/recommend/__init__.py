@@ -1,0 +1,22 @@
+"""Trust-aware recommendation: the application the paper motivates.
+
+The paper's introduction argues the derived web of trust lets users
+"collect reliable information from trustworthy people" in communities
+without explicit trust features.  This package closes that loop:
+
+- :class:`TrustAwareRecommender` ranks unread reviews for a user by
+  combining estimated review quality with the user's *derived* trust in
+  each writer, and predicts the helpfulness rating the user would give;
+- :func:`evaluate_predictions` scores those predictions against held-out
+  ratings (MAE / RMSE) next to quality-only and global-mean baselines.
+"""
+
+from repro.recommend.evaluate import PredictionReport, evaluate_predictions
+from repro.recommend.recommender import Recommendation, TrustAwareRecommender
+
+__all__ = [
+    "TrustAwareRecommender",
+    "Recommendation",
+    "evaluate_predictions",
+    "PredictionReport",
+]

@@ -1,0 +1,5 @@
+"""Plain-text rendering of experiment results (tables and reports)."""
+
+from repro.reporting.tables import format_float, format_percent, render_table
+
+__all__ = ["render_table", "format_float", "format_percent"]

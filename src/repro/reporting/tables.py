@@ -1,0 +1,66 @@
+"""Minimal ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.common.errors import ValidationError
+
+__all__ = ["render_table", "format_float", "format_percent"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    if not headers:
+        raise ValidationError("a table needs at least one column")
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(separator)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Fixed-point formatting used across experiment tables."""
+    return f"{value:.{digits}f}"
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Percentage formatting (``0.984`` -> ``'98.4%'``)."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)

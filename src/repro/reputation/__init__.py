@@ -1,0 +1,38 @@
+"""Step 1 of the paper: reputation from rating data (Riggs' model).
+
+Per category, the package computes three mutually-dependent quantities:
+
+- **review quality** ``q(r_j)`` -- the rater-reputation-weighted mean of the
+  helpfulness ratings a review received (eq. 1);
+- **rater reputation** -- how consistently a rater rates reviews near their
+  final quality, discounted for low rating activity (eq. 2);
+- **writer reputation / expertise** -- the mean quality of a writer's
+  reviews in the category, discounted for low writing activity (eq. 3).
+
+Qualities and rater reputations are solved together as a fixed point
+(:func:`solve_category`); writer reputations follow in one pass
+(:func:`writer_reputations`); :class:`ExpertiseEstimator` orchestrates all
+categories of a :class:`repro.community.Community` into the paper's
+Users_Category Expertise matrix ``E``.
+"""
+
+from repro.reputation.estimator import ExpertiseEstimator, ExpertiseResult
+from repro.reputation.incremental import IncrementalExpertise
+from repro.reputation.riggs import (
+    CategoryFixedPoint,
+    RiggsConfig,
+    experience_discount,
+    solve_category,
+)
+from repro.reputation.writer import writer_reputations
+
+__all__ = [
+    "RiggsConfig",
+    "CategoryFixedPoint",
+    "solve_category",
+    "experience_discount",
+    "writer_reputations",
+    "ExpertiseEstimator",
+    "ExpertiseResult",
+    "IncrementalExpertise",
+]

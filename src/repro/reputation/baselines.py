@@ -1,0 +1,93 @@
+"""Baseline reputation models (comparators for the Riggs machinery).
+
+The paper adopts Riggs' model without comparing it against simpler
+alternatives.  These baselines fill that gap for the ablation experiment
+``experiments.reputation_baselines``:
+
+- **mean-received**: a writer's reputation is the plain mean of all
+  ratings their reviews received (no rater weighting, no experience
+  discount); a rater's reputation is ``1 - MAD`` against plain-mean
+  qualities;
+- **activity**: reputation is the user's normalised log activity volume
+  (pure "quantity", no quality signal at all).
+
+All functions return :class:`repro.matrix.UserCategoryMatrix` aligned
+with the community's axes, directly comparable to
+:class:`repro.reputation.ExpertiseEstimator` output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.community import Community
+from repro.matrix import LabelIndex, UserCategoryMatrix
+
+__all__ = ["baseline_expertise", "baseline_rater_reputation", "BASELINE_KINDS"]
+
+BASELINE_KINDS = ("mean_received", "activity")
+
+
+def baseline_expertise(community: Community, kind: str = "mean_received") -> UserCategoryMatrix:
+    """Writer-reputation baseline matrix (comparator for eq. 3)."""
+    _require_kind(kind)
+    users = LabelIndex(community.user_ids())
+    categories = LabelIndex(community.category_ids())
+    matrix = UserCategoryMatrix(users, categories)
+
+    for category_id in categories:
+        if kind == "activity":
+            _fill_activity(matrix, category_id, community.writing_counts(category_id))
+            continue
+        received: dict[str, list[float]] = {}
+        for review in community.reviews_in_category(category_id):
+            values = [v for _, v in community.ratings_of_review(review.review_id)]
+            if values:
+                received.setdefault(review.writer_id, []).extend(values)
+        for writer_id, values in received.items():
+            matrix.set(writer_id, category_id, float(np.mean(values)))
+    return matrix
+
+
+def baseline_rater_reputation(
+    community: Community, kind: str = "mean_received"
+) -> UserCategoryMatrix:
+    """Rater-reputation baseline matrix (comparator for eq. 2)."""
+    _require_kind(kind)
+    users = LabelIndex(community.user_ids())
+    categories = LabelIndex(community.category_ids())
+    matrix = UserCategoryMatrix(users, categories)
+
+    for category_id in categories:
+        if kind == "activity":
+            _fill_activity(matrix, category_id, community.rating_counts(category_id))
+            continue
+        # plain-mean review qualities, then 1 - MAD per rater (no discount)
+        quality: dict[str, float] = {}
+        for review in community.reviews_in_category(category_id):
+            values = [v for _, v in community.ratings_of_review(review.review_id)]
+            if values:
+                quality[review.review_id] = float(np.mean(values))
+        deviations: dict[str, list[float]] = {}
+        for review_id, q in quality.items():
+            for rater_id, value in community.ratings_of_review(review_id):
+                deviations.setdefault(rater_id, []).append(abs(q - value))
+        for rater_id, devs in deviations.items():
+            matrix.set(rater_id, category_id, max(0.0, 1.0 - float(np.mean(devs))))
+    return matrix
+
+
+def _fill_activity(
+    matrix: UserCategoryMatrix, category_id: str, counts: dict[str, int]
+) -> None:
+    if not counts:
+        return
+    max_log = max(np.log1p(c) for c in counts.values())
+    for user_id, count in counts.items():
+        matrix.set(user_id, category_id, float(np.log1p(count) / max(max_log, 1e-12)))
+
+
+def _require_kind(kind: str) -> None:
+    if kind not in BASELINE_KINDS:
+        raise ValidationError(f"kind must be one of {BASELINE_KINDS}, got {kind!r}")

@@ -1,0 +1,109 @@
+"""Orchestration of Step 1 over a whole community.
+
+:class:`ExpertiseEstimator` runs the per-category fixed point and the
+writer aggregation for every category of a community and assembles:
+
+- the paper's **Users_Category Expertise matrix** ``E`` (writer reputation
+  per category, eq. 3) -- the direct input to Step 3;
+- a companion **rater-reputation matrix** (eq. 2), which the paper's
+  Table 2 evaluates;
+- per-category review qualities and convergence diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.community import Community
+from repro.matrix import LabelIndex, UserCategoryMatrix
+from repro.reputation.riggs import CategoryFixedPoint, RiggsConfig, solve_category
+from repro.reputation.writer import writer_reputations
+
+__all__ = ["ExpertiseEstimator", "ExpertiseResult"]
+
+
+@dataclass(frozen=True)
+class ExpertiseResult:
+    """Everything Step 1 produces for one community.
+
+    Attributes
+    ----------
+    expertise:
+        ``E`` -- writer reputation per (user, category); zero where the user
+        wrote nothing (or nothing rated) in the category.
+    rater_reputation:
+        Rater reputation per (user, category); zero where the user rated
+        nothing in the category.
+    fixed_points:
+        The raw per-category solver output (qualities, reputations,
+        iteration counts).
+    """
+
+    expertise: UserCategoryMatrix
+    rater_reputation: UserCategoryMatrix
+    fixed_points: dict[str, CategoryFixedPoint]
+
+    def review_quality(self, category_id: str) -> dict[str, float]:
+        """Converged review qualities for one category."""
+        return dict(self.fixed_points[category_id].review_quality)
+
+    def iterations(self) -> dict[str, int]:
+        """Solver sweeps needed per category."""
+        return {c: fp.iterations for c, fp in self.fixed_points.items()}
+
+
+class ExpertiseEstimator:
+    """Computes Step 1 (eqs. 1-3) for every category of a community.
+
+    Parameters
+    ----------
+    config:
+        Fixed-point configuration shared by all categories.
+    unrated_policy:
+        Passed to :func:`repro.reputation.writer.writer_reputations`.
+
+    Example
+    -------
+    >>> estimator = ExpertiseEstimator()
+    >>> result = estimator.fit(community)
+    >>> result.expertise.get("u000001", "c000000")
+    0.7...
+    """
+
+    def __init__(self, config: RiggsConfig | None = None, *, unrated_policy: str = "exclude"):
+        self.config = config or RiggsConfig()
+        self.unrated_policy = unrated_policy
+
+    def fit(self, community: Community) -> ExpertiseResult:
+        """Run Step 1 on ``community`` and return all reputation artefacts."""
+        users = LabelIndex(community.user_ids())
+        categories = LabelIndex(community.category_ids())
+        expertise = UserCategoryMatrix(users, categories)
+        rater_rep = UserCategoryMatrix(users, categories)
+        fixed_points: dict[str, CategoryFixedPoint] = {}
+
+        for category_id in categories:
+            fixed_point = self._solve_one(community, category_id)
+            fixed_points[category_id] = fixed_point
+            for rater_id, value in fixed_point.rater_reputation.items():
+                rater_rep.set(rater_id, category_id, value)
+
+            review_writers = {
+                review.review_id: review.writer_id
+                for review in community.reviews_in_category(category_id)
+            }
+            writers = writer_reputations(
+                review_writers,
+                fixed_point.review_quality,
+                experience_discount_enabled=self.config.experience_discount_enabled,
+                unrated_policy=self.unrated_policy,
+            )
+            for writer_id, value in writers.items():
+                expertise.set(writer_id, category_id, value)
+
+        return ExpertiseResult(
+            expertise=expertise, rater_reputation=rater_rep, fixed_points=fixed_points
+        )
+
+    def _solve_one(self, community: Community, category_id: str) -> CategoryFixedPoint:
+        return solve_category(community.rating_triples(category_id), self.config)

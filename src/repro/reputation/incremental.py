@@ -1,0 +1,132 @@
+"""Incremental maintenance of Step 1 as new data arrives.
+
+A production deployment does not re-run the whole framework on every new
+rating.  Because eqs. 1-3 are computed *per category* and categories are
+independent, only the category that received new data needs re-solving --
+and re-solving can warm-start from the previous fixed point, which after
+a handful of new ratings is already very close to the new one.
+
+:class:`IncrementalExpertise` wraps a community, tracks which categories
+are dirty, and refreshes exactly those (warm-started) on demand.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.community import Community
+from repro.matrix import LabelIndex, UserCategoryMatrix
+from repro.reputation.estimator import ExpertiseResult
+from repro.reputation.riggs import CategoryFixedPoint, RiggsConfig, solve_category
+from repro.reputation.writer import writer_reputations
+
+__all__ = ["IncrementalExpertise"]
+
+
+class IncrementalExpertise:
+    """Maintains expertise/rater reputation under new ratings and reviews.
+
+    Usage::
+
+        tracker = IncrementalExpertise(community)
+        result = tracker.fit()                   # full initial solve
+        community.add_rating(...)                # new activity arrives
+        tracker.mark_dirty(category_id)          # or mark_all_dirty()
+        result = tracker.refresh()               # re-solves dirty categories only
+
+    ``refresh`` is exact: its output always equals a fresh
+    :class:`repro.reputation.ExpertiseEstimator` fit of the current
+    community state (warm starting changes the iteration count, not the
+    fixed point).
+
+    Limitations: the user and category *axes* are fixed at construction --
+    adding new users or categories requires a new tracker.
+    """
+
+    def __init__(
+        self,
+        community: Community,
+        config: RiggsConfig | None = None,
+        *,
+        unrated_policy: str = "exclude",
+    ):
+        self._community = community
+        self._config = config or RiggsConfig()
+        self._unrated_policy = unrated_policy
+        self._users = LabelIndex(community.user_ids())
+        self._categories = LabelIndex(community.category_ids())
+        self._fixed_points: dict[str, CategoryFixedPoint] = {}
+        self._writer_reps: dict[str, dict[str, float]] = {}
+        self._dirty: set[str] = set(self._categories)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ status
+
+    @property
+    def dirty_categories(self) -> set[str]:
+        """Categories whose reputation data is stale."""
+        return set(self._dirty)
+
+    def mark_dirty(self, category_id: str) -> None:
+        """Flag one category for recomputation at the next refresh."""
+        if category_id not in self._categories:
+            raise ValidationError(f"unknown category {category_id!r}")
+        self._dirty.add(category_id)
+
+    def mark_all_dirty(self) -> None:
+        """Flag every category (e.g. after a bulk import)."""
+        self._dirty = set(self._categories)
+
+    # ------------------------------------------------------------------ solving
+
+    def fit(self) -> ExpertiseResult:
+        """Initial full solve (equivalent to ``ExpertiseEstimator.fit``)."""
+        self.mark_all_dirty()
+        return self.refresh()
+
+    def refresh(self) -> ExpertiseResult:
+        """Re-solve all dirty categories (warm-started) and return the result."""
+        for category_id in sorted(self._dirty):
+            previous = self._fixed_points.get(category_id)
+            warm = previous.rater_reputation if previous is not None else None
+            fixed_point = solve_category(
+                self._community.rating_triples(category_id),
+                self._config,
+                warm_start=warm,
+            )
+            self._fixed_points[category_id] = fixed_point
+            review_writers = {
+                review.review_id: review.writer_id
+                for review in self._community.reviews_in_category(category_id)
+            }
+            self._writer_reps[category_id] = writer_reputations(
+                review_writers,
+                fixed_point.review_quality,
+                experience_discount_enabled=self._config.experience_discount_enabled,
+                unrated_policy=self._unrated_policy,
+            )
+        self._dirty.clear()
+        self._fitted = True
+        return self._assemble()
+
+    def last_iterations(self, category_id: str) -> int:
+        """Solver sweeps used at the last refresh of ``category_id``."""
+        fixed_point = self._fixed_points.get(category_id)
+        if fixed_point is None:
+            raise ValidationError(f"category {category_id!r} has not been solved yet")
+        return fixed_point.iterations
+
+    # ------------------------------------------------------------------ assembly
+
+    def _assemble(self) -> ExpertiseResult:
+        expertise = UserCategoryMatrix(self._users, self._categories)
+        rater_rep = UserCategoryMatrix(self._users, self._categories)
+        for category_id, fixed_point in self._fixed_points.items():
+            for rater_id, value in fixed_point.rater_reputation.items():
+                rater_rep.set(rater_id, category_id, value)
+            for writer_id, value in self._writer_reps[category_id].items():
+                expertise.set(writer_id, category_id, value)
+        return ExpertiseResult(
+            expertise=expertise,
+            rater_reputation=rater_rep,
+            fixed_points=dict(self._fixed_points),
+        )

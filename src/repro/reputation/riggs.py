@@ -1,0 +1,286 @@
+"""The review-quality / rater-reputation fixed point (paper eqs. 1-2).
+
+Within one category, let ``rho_ij`` be the rating rater *i* gave review *j*.
+The two coupled equations are
+
+.. math::
+
+    q(r_j) = \\frac{\\sum_{i \\in U(r_j)} rep(u_i) \\cdot \\rho_{ij}}
+                   {\\sum_{i \\in U(r_j)} rep(u_i)}
+
+    rep(u_i) = \\Big(1 - \\frac{1}{n_i + 1}\\Big)
+               \\Big(1 - \\frac{\\sum_{j \\in R(u_i)} |q(r_j) - \\rho_{ij}|}{n_i}\\Big)
+
+where ``n_i`` is the number of reviews rater *i* rated in the category.  We
+iterate the pair of updates from ``rep = 1`` until the largest change in any
+quality or reputation value falls below ``tolerance``.
+
+The iteration operates on flat numpy arrays indexed by (rater, review)
+incidence, so each sweep is O(number of ratings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConvergenceError, ValidationError
+from repro.common.validation import (
+    require_fraction,
+    require_in_range,
+    require_positive,
+)
+
+__all__ = ["RiggsConfig", "CategoryFixedPoint", "solve_category", "experience_discount"]
+
+
+def experience_discount(n: np.ndarray | int) -> np.ndarray | float:
+    """The paper's activity discount ``1 - 1/(n+1)``.
+
+    Maps 1 activity event to 0.5, 9 events to 0.9, and approaches 1 as the
+    user becomes more active, "compensating for less experience".
+    """
+    return 1.0 - 1.0 / (np.asarray(n, dtype=np.float64) + 1.0)
+
+
+@dataclass(frozen=True)
+class RiggsConfig:
+    """Knobs of the fixed-point solver.
+
+    Parameters
+    ----------
+    tolerance:
+        Convergence threshold on the L-infinity change of qualities and
+        reputations between sweeps.
+    max_iterations:
+        Iteration budget; exceeding it raises :class:`ConvergenceError`.
+    damping:
+        Fraction of the *previous* reputation kept each sweep
+        (``0`` = plain iteration).  Rarely needed; exposed for adversarial
+        inputs.
+    initial_reputation:
+        Starting rater reputation.  The paper does not specify one; ``1.0``
+        makes the first quality estimate the plain mean of ratings.
+    weight_by_rater_reputation:
+        Ablation A1: when ``False``, eq. 1 degrades to the unweighted mean
+        of received ratings (rater reputations are still computed, but do
+        not influence quality).
+    experience_discount_enabled:
+        Ablation A2: when ``False``, the ``1 - 1/(n+1)`` factor of eq. 2 is
+        dropped.
+    """
+
+    tolerance: float = 1e-9
+    max_iterations: int = 500
+    damping: float = 0.0
+    initial_reputation: float = 1.0
+    weight_by_rater_reputation: bool = True
+    experience_discount_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive("tolerance", self.tolerance)
+        require_positive("max_iterations", self.max_iterations)
+        require_in_range("damping", self.damping, 0.0, 1.0)
+        require_fraction("initial_reputation", self.initial_reputation)
+
+
+@dataclass(frozen=True)
+class CategoryFixedPoint:
+    """Converged qualities and rater reputations for one category.
+
+    Attributes
+    ----------
+    review_quality:
+        ``{review_id: quality}`` for every review that received at least one
+        rating in the category.
+    rater_reputation:
+        ``{rater_id: reputation}`` for every user who rated at least one
+        review in the category.
+    iterations:
+        Sweeps performed until convergence.
+    residual:
+        Final L-infinity change (``<= tolerance``).
+    """
+
+    review_quality: dict[str, float]
+    rater_reputation: dict[str, float]
+    iterations: int
+    residual: float
+    rating_counts: dict[str, int] = field(default_factory=dict)
+
+
+def solve_category(
+    ratings: Iterable[tuple[str, str, float]],
+    config: RiggsConfig | None = None,
+    *,
+    warm_start: Mapping[str, float] | None = None,
+) -> CategoryFixedPoint:
+    """Solve eqs. 1-2 for one category.
+
+    Parameters
+    ----------
+    ratings:
+        ``(rater_id, review_id, value)`` triples -- every helpfulness rating
+        given in the category.  Values must lie in ``[0, 1]``; a
+        ``(rater, review)`` pair may appear at most once.
+    config:
+        Solver configuration (defaults to :class:`RiggsConfig`).
+    warm_start:
+        Optional ``{rater_id: reputation}`` starting point (e.g. the
+        previous fixed point, for incremental recomputation after a few
+        new ratings).  Raters absent from the mapping start at
+        ``config.initial_reputation``; values are clipped to ``[0, 1]``.
+
+    Returns
+    -------
+    CategoryFixedPoint
+        Converged qualities (one per rated review) and reputations (one per
+        active rater).
+
+    Raises
+    ------
+    ConvergenceError
+        If ``config.max_iterations`` sweeps do not reach ``tolerance``.
+    ValidationError
+        On malformed input (duplicate pairs, out-of-range values).
+    """
+    cfg = config or RiggsConfig()
+    triples = list(ratings)
+    if not triples:
+        return CategoryFixedPoint(
+            review_quality={}, rater_reputation={}, iterations=0, residual=0.0
+        )
+
+    rater_ids, review_ids, rater_idx, review_idx, values = _index_triples(triples)
+    num_raters = len(rater_ids)
+    num_reviews = len(review_ids)
+
+    counts = np.bincount(rater_idx, minlength=num_raters).astype(np.float64)
+    if cfg.experience_discount_enabled:
+        discount = experience_discount(counts)
+    else:
+        discount = np.ones(num_raters, dtype=np.float64)
+
+    reputation = np.full(num_raters, cfg.initial_reputation, dtype=np.float64)
+    if warm_start:
+        for i, rater_id in enumerate(rater_ids):
+            previous = warm_start.get(rater_id)
+            if previous is not None:
+                reputation[i] = min(1.0, max(0.0, float(previous)))
+    quality = np.zeros(num_reviews, dtype=np.float64)
+
+    iterations = 0
+    residual = np.inf
+    for iterations in range(1, cfg.max_iterations + 1):
+        new_quality = _quality_update(
+            reputation, rater_idx, review_idx, values, num_reviews, cfg
+        )
+        new_reputation = _reputation_update(
+            new_quality, rater_idx, review_idx, values, counts, discount
+        )
+        if cfg.damping > 0.0:
+            new_reputation = (
+                cfg.damping * reputation + (1.0 - cfg.damping) * new_reputation
+            )
+        residual = max(
+            float(np.max(np.abs(new_quality - quality))),
+            float(np.max(np.abs(new_reputation - reputation))),
+        )
+        quality = new_quality
+        reputation = new_reputation
+        if residual < cfg.tolerance:
+            break
+    else:
+        raise ConvergenceError(
+            f"Riggs fixed point did not converge in {cfg.max_iterations} sweeps "
+            f"(residual {residual:.3e} > tolerance {cfg.tolerance:.3e})",
+            iterations=cfg.max_iterations,
+            residual=float(residual),
+            tolerance=cfg.tolerance,
+        )
+
+    return CategoryFixedPoint(
+        review_quality={review_ids[j]: float(quality[j]) for j in range(num_reviews)},
+        rater_reputation={rater_ids[i]: float(reputation[i]) for i in range(num_raters)},
+        iterations=iterations,
+        residual=float(residual),
+        rating_counts={rater_ids[i]: int(counts[i]) for i in range(num_raters)},
+    )
+
+
+# --------------------------------------------------------------------------- internals
+
+
+def _index_triples(
+    triples: Sequence[tuple[str, str, float]],
+) -> tuple[list[str], list[str], np.ndarray, np.ndarray, np.ndarray]:
+    rater_pos: dict[str, int] = {}
+    review_pos: dict[str, int] = {}
+    seen_pairs: set[tuple[str, str]] = set()
+    rater_idx = np.empty(len(triples), dtype=np.int64)
+    review_idx = np.empty(len(triples), dtype=np.int64)
+    values = np.empty(len(triples), dtype=np.float64)
+    for k, (rater, review, value) in enumerate(triples):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(f"rating value must be a number, got {value!r}")
+        if not 0.0 <= float(value) <= 1.0:
+            raise ValidationError(f"rating value must lie in [0, 1], got {value!r}")
+        pair = (rater, review)
+        if pair in seen_pairs:
+            raise ValidationError(f"duplicate rating for pair {pair!r}")
+        seen_pairs.add(pair)
+        rater_idx[k] = rater_pos.setdefault(rater, len(rater_pos))
+        review_idx[k] = review_pos.setdefault(review, len(review_pos))
+        values[k] = float(value)
+    return (
+        list(rater_pos),
+        list(review_pos),
+        rater_idx,
+        review_idx,
+        values,
+    )
+
+
+def _quality_update(
+    reputation: np.ndarray,
+    rater_idx: np.ndarray,
+    review_idx: np.ndarray,
+    values: np.ndarray,
+    num_reviews: int,
+    cfg: RiggsConfig,
+) -> np.ndarray:
+    """Eq. 1: reputation-weighted mean rating per review."""
+    if cfg.weight_by_rater_reputation:
+        weights = reputation[rater_idx]
+    else:
+        weights = np.ones_like(values)
+    weighted_sum = np.bincount(review_idx, weights=weights * values, minlength=num_reviews)
+    weight_sum = np.bincount(review_idx, weights=weights, minlength=num_reviews)
+    plain_sum = np.bincount(review_idx, weights=values, minlength=num_reviews)
+    plain_count = np.bincount(review_idx, minlength=num_reviews).astype(np.float64)
+    # A review whose raters all have reputation 0 falls back to the plain
+    # mean -- eq. 1 is 0/0 there and the paper leaves it undefined.
+    safe = weight_sum > 0.0
+    quality = np.where(
+        safe,
+        np.divide(weighted_sum, np.where(safe, weight_sum, 1.0)),
+        plain_sum / np.maximum(plain_count, 1.0),
+    )
+    return np.clip(quality, 0.0, 1.0)
+
+
+def _reputation_update(
+    quality: np.ndarray,
+    rater_idx: np.ndarray,
+    review_idx: np.ndarray,
+    values: np.ndarray,
+    counts: np.ndarray,
+    discount: np.ndarray,
+) -> np.ndarray:
+    """Eq. 2: activity-discounted (1 - mean absolute deviation)."""
+    deviations = np.abs(quality[review_idx] - values)
+    total_dev = np.bincount(rater_idx, weights=deviations, minlength=len(counts))
+    mad = total_dev / counts
+    return np.clip(discount * (1.0 - mad), 0.0, 1.0)

@@ -1,0 +1,42 @@
+"""An in-memory relational store.
+
+The paper's framework consumes community data (users, categories, objects,
+reviews, review ratings) that in a production deployment lives in the
+community site's database.  This package provides that substrate: typed
+tables with primary keys, foreign keys, unique constraints and secondary
+hash indexes, collected into a :class:`Database` with cross-table integrity
+checking, plus a small composable query layer.
+
+It is intentionally *not* a SQL engine -- it is the smallest honest database
+layer the domain model needs, with the failure modes a real database would
+have (duplicate keys, dangling references, schema violations) surfaced as
+typed exceptions.
+
+>>> from repro.store import Column, Schema, Database
+>>> db = Database("demo")
+>>> users = db.create_table(Schema(
+...     name="users",
+...     columns=[Column("user_id", str), Column("name", str)],
+...     primary_key=("user_id",),
+... ))
+>>> users.insert({"user_id": "u1", "name": "ada"})
+>>> users.get("u1")["name"]
+'ada'
+"""
+
+from repro.store.database import Database
+from repro.store.index import HashIndex, UniqueIndex
+from repro.store.query import Query
+from repro.store.schema import Column, ForeignKey, Schema
+from repro.store.table import Table
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "HashIndex",
+    "UniqueIndex",
+    "Database",
+    "Query",
+]

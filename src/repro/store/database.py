@@ -1,0 +1,127 @@
+"""A named collection of tables with cross-table foreign-key enforcement."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import IntegrityError, ValidationError
+from repro.store.schema import Schema
+from repro.store.table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """Holds tables and enforces declared foreign keys on insert.
+
+    Foreign keys are declared on the referencing table's :class:`Schema`;
+    the database resolves them when rows are inserted *through the database*
+    (``db.insert(table_name, row)``) or through a table obtained from
+    :meth:`table` -- both share the same underlying :class:`Table` objects,
+    but only :meth:`insert` runs FK checks, mirroring how an application
+    usually funnels writes through one data-access layer.
+    """
+
+    def __init__(self, name: str = "db"):
+        if not name.isidentifier():
+            raise ValidationError(f"database name {name!r} is not a valid identifier")
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # -- schema management ---------------------------------------------------
+
+    def create_table(self, schema: Schema) -> Table:
+        """Create a table from ``schema`` and return it."""
+        if schema.name in self._tables:
+            raise ValidationError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            ref = self._tables.get(fk.ref_table)
+            if ref is None:
+                raise ValidationError(
+                    f"table {schema.name!r}: foreign key references unknown "
+                    f"table {fk.ref_table!r} (create referenced tables first)"
+                )
+            if len(ref.schema.primary_key) != 1:
+                raise ValidationError(
+                    f"table {schema.name!r}: foreign key to {fk.ref_table!r} requires "
+                    "a single-column primary key on the referenced table"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        table = self._tables.get(name)
+        if table is None:
+            raise ValidationError(f"database {self.name!r} has no table {name!r}")
+        return table
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all tables, in creation order."""
+        return tuple(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- writes with FK enforcement -------------------------------------------
+
+    def insert(self, table_name: str, row: dict[str, Any]) -> None:
+        """Insert ``row`` into ``table_name``, enforcing foreign keys."""
+        table = self.table(table_name)
+        clean = table._validate_only(row)
+        for fk in table.schema.foreign_keys:
+            value = clean[fk.column]
+            if value is None:
+                continue  # nullable FK columns may hold None
+            ref = self._tables[fk.ref_table]
+            if not ref._pk_exists((value,)):
+                raise IntegrityError(
+                    f"table {table_name!r}: column {fk.column!r} value {value!r} "
+                    f"does not reference an existing row of {fk.ref_table!r}"
+                )
+        table._raw_insert(clean)
+
+    def insert_many(self, table_name: str, rows: Any) -> int:
+        """Insert many rows with FK enforcement; returns the count inserted."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def verify_integrity(self) -> list[str]:
+        """Re-check every foreign key across the whole database.
+
+        Returns a list of human-readable violation descriptions (empty when
+        consistent).  Useful after bulk loads that bypassed :meth:`insert`.
+        """
+        problems: list[str] = []
+        for table in self._tables.values():
+            for fk in table.schema.foreign_keys:
+                ref = self._tables.get(fk.ref_table)
+                if ref is None:
+                    problems.append(
+                        f"{table.name}.{fk.column}: referenced table "
+                        f"{fk.ref_table!r} is missing"
+                    )
+                    continue
+                for row in table.rows():
+                    value = row[fk.column]
+                    if value is not None and not ref._pk_exists((value,)):
+                        problems.append(
+                            f"{table.name}.{fk.column}={value!r} dangles "
+                            f"(no such {fk.ref_table} row)"
+                        )
+        return problems
+
+    def stats(self) -> dict[str, int]:
+        """Row counts per table."""
+        return {name: len(table) for name, table in self._tables.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{n}={len(t)}" for n, t in self._tables.items())
+        return f"Database({self.name!r}: {inner})"

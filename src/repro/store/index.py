@@ -1,0 +1,62 @@
+"""Secondary indexes over table rows."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.common.errors import IntegrityError
+
+__all__ = ["HashIndex", "UniqueIndex"]
+
+
+class HashIndex:
+    """Multi-valued hash index: key tuple -> set of primary keys.
+
+    A :class:`repro.store.table.Table` maintains one per indexed column
+    combination; lookups return primary keys in insertion order.
+    """
+
+    def __init__(self, columns: tuple[str, ...]):
+        self.columns = tuple(columns)
+        self._buckets: dict[tuple[Any, ...], dict[tuple[Any, ...], None]] = {}
+
+    def key_of(self, row: dict[str, Any]) -> tuple[Any, ...]:
+        """The index key of ``row``."""
+        return tuple(row[c] for c in self.columns)
+
+    def add(self, row: dict[str, Any], pk: tuple[Any, ...]) -> None:
+        """Register ``pk`` under ``row``'s key."""
+        self._buckets.setdefault(self.key_of(row), {})[pk] = None
+
+    def remove(self, row: dict[str, Any], pk: tuple[Any, ...]) -> None:
+        """Unregister ``pk`` from ``row``'s key."""
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.pop(pk, None)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: tuple[Any, ...]) -> list[tuple[Any, ...]]:
+        """Primary keys whose rows have index key ``key`` (insertion order)."""
+        return list(self._buckets.get(tuple(key), ()))
+
+    def keys(self) -> Iterable[tuple[Any, ...]]:
+        """All distinct index keys currently present."""
+        return self._buckets.keys()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class UniqueIndex(HashIndex):
+    """Hash index that additionally enforces key uniqueness."""
+
+    def add(self, row: dict[str, Any], pk: tuple[Any, ...]) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket and pk not in bucket:
+            raise IntegrityError(
+                f"unique constraint on {self.columns} violated by key {key!r}"
+            )
+        super().add(row, pk)

@@ -1,0 +1,122 @@
+"""A small composable query layer over :class:`repro.store.table.Table`.
+
+Queries are lazy: building one performs no work until a terminal method
+(:meth:`Query.all`, :meth:`Query.count`, ...) runs.
+
+>>> Query(reviews).where(category_id="c1").order_by("created_at").limit(10).all()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.common.errors import ValidationError
+from repro.store.table import Table
+
+__all__ = ["Query"]
+
+
+class Query:
+    """Lazy filter/project/sort/limit pipeline over one table."""
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._equals: dict[str, Any] = {}
+        self._predicates: list[Callable[[dict[str, Any]], bool]] = []
+        self._order: tuple[str, bool] | None = None  # (column, descending)
+        self._limit: int | None = None
+        self._projection: tuple[str, ...] | None = None
+
+    # -- builders (each returns a new Query) ---------------------------------
+
+    def where(self, **equals: Any) -> "Query":
+        """Add equality filters (ANDed with previous filters)."""
+        for col in equals:
+            self._table.schema.column(col)
+        clone = self._clone()
+        clone._equals.update(equals)
+        return clone
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Query":
+        """Add an arbitrary row predicate (ANDed)."""
+        clone = self._clone()
+        clone._predicates.append(predicate)
+        return clone
+
+    def order_by(self, column: str, *, descending: bool = False) -> "Query":
+        """Sort results by ``column`` (stable sort)."""
+        self._table.schema.column(column)
+        clone = self._clone()
+        clone._order = (column, descending)
+        return clone
+
+    def limit(self, n: int) -> "Query":
+        """Keep at most ``n`` results."""
+        if n < 0:
+            raise ValidationError(f"limit must be >= 0, got {n}")
+        clone = self._clone()
+        clone._limit = n
+        return clone
+
+    def select(self, *columns: str) -> "Query":
+        """Project rows down to the named columns."""
+        for col in columns:
+            self._table.schema.column(col)
+        clone = self._clone()
+        clone._projection = tuple(columns)
+        return clone
+
+    # -- terminals ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        rows = self._table.find(**self._equals)
+        for pred in self._predicates:
+            rows = [r for r in rows if pred(r)]
+        if self._order is not None:
+            column, descending = self._order
+            rows.sort(key=lambda r: r[column], reverse=descending)
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            cols = self._projection
+            for row in rows:
+                yield {c: row[c] for c in cols}
+        else:
+            yield from rows
+
+    def all(self) -> list[dict[str, Any]]:
+        """Materialise all matching rows."""
+        return list(self)
+
+    def first(self) -> dict[str, Any] | None:
+        """First matching row, or ``None``."""
+        for row in self:
+            return row
+        return None
+
+    def count(self) -> int:
+        """Number of matching rows (fast path when only equality filters)."""
+        if not self._predicates and self._limit is None:
+            return self._table.count(**self._equals)
+        return sum(1 for _ in self)
+
+    def values(self, column: str) -> list[Any]:
+        """The ``column`` values of all matching rows."""
+        self._table.schema.column(column)
+        saved = self._projection
+        self._projection = None
+        try:
+            return [row[column] for row in self]
+        finally:
+            self._projection = saved
+
+    # -- internals ------------------------------------------------------------
+
+    def _clone(self) -> "Query":
+        clone = Query(self._table)
+        clone._equals = dict(self._equals)
+        clone._predicates = list(self._predicates)
+        clone._order = self._order
+        clone._limit = self._limit
+        clone._projection = self._projection
+        return clone

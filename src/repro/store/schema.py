@@ -1,0 +1,153 @@
+"""Table schemas: column declarations, keys and constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import SchemaError, ValidationError
+
+__all__ = ["Column", "ForeignKey", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a valid identifier.
+    dtype:
+        The Python type values must be an instance of.  ``float`` columns
+        also accept ``int`` values (they are coerced on insert); ``bool`` is
+        *not* accepted by ``int``/``float`` columns.
+    nullable:
+        Whether ``None`` is an acceptable value.
+    check:
+        Optional per-value predicate; rows whose value fails the predicate
+        are rejected with :class:`SchemaError`.
+    """
+
+    name: str
+    dtype: type
+    nullable: bool = False
+    check: Callable[[Any], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValidationError(f"column name {self.name!r} is not a valid identifier")
+
+    def validate(self, value: Any) -> Any:
+        """Validate (and possibly coerce) ``value``; return the stored value."""
+        if value is None:
+            if self.nullable:
+                return None
+            raise SchemaError(f"column {self.name!r} is not nullable")
+        if isinstance(value, bool) and self.dtype in (int, float):
+            raise SchemaError(f"column {self.name!r} expects {self.dtype.__name__}, got bool")
+        if self.dtype is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, self.dtype):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.dtype.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        if self.check is not None and not self.check(value):
+            raise SchemaError(f"column {self.name!r}: value {value!r} failed its check")
+        return value
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declares that ``column`` must reference ``ref_table``'s primary key."""
+
+    column: str
+    ref_table: str
+
+    def __post_init__(self) -> None:
+        if not self.column or not self.ref_table:
+            raise ValidationError("ForeignKey needs a column and a referenced table name")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Full declaration of one table.
+
+    Parameters
+    ----------
+    name:
+        Table name.
+    columns:
+        Ordered column declarations.
+    primary_key:
+        Tuple of column names forming the primary key (at least one).
+    foreign_keys:
+        Foreign-key declarations resolved by the owning :class:`Database`.
+    unique:
+        Additional tuples of column names whose combined values must be
+        unique across rows.
+    """
+
+    name: str
+    columns: tuple[Column, ...] | list[Column]
+    primary_key: tuple[str, ...]
+    foreign_keys: tuple[ForeignKey, ...] = field(default_factory=tuple)
+    unique: tuple[tuple[str, ...], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "foreign_keys", tuple(self.foreign_keys))
+        object.__setattr__(self, "unique", tuple(tuple(u) for u in self.unique))
+        if not self.name.isidentifier():
+            raise ValidationError(f"table name {self.name!r} is not a valid identifier")
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise ValidationError(f"table {self.name!r} declares duplicate column names")
+        if not self.primary_key:
+            raise ValidationError(f"table {self.name!r} must declare a primary key")
+        known = set(names)
+        for pk_col in self.primary_key:
+            if pk_col not in known:
+                raise ValidationError(
+                    f"table {self.name!r}: primary-key column {pk_col!r} is not declared"
+                )
+        for fk in self.foreign_keys:
+            if fk.column not in known:
+                raise ValidationError(
+                    f"table {self.name!r}: foreign-key column {fk.column!r} is not declared"
+                )
+        for combo in self.unique:
+            for col in combo:
+                if col not in known:
+                    raise ValidationError(
+                        f"table {self.name!r}: unique-constraint column {col!r} is not declared"
+                    )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Names of all declared columns, in declaration order."""
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the declaration of column ``name``."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise ValidationError(f"table {self.name!r} has no column {name!r}")
+
+    def validate_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate a full row dict against this schema; return a clean copy."""
+        extra = set(row) - set(self.column_names)
+        if extra:
+            raise SchemaError(f"table {self.name!r}: unknown columns {sorted(extra)}")
+        clean: dict[str, Any] = {}
+        for col in self.columns:
+            if col.name not in row:
+                raise SchemaError(f"table {self.name!r}: missing column {col.name!r}")
+            clean[col.name] = col.validate(row[col.name])
+        return clean
+
+    def pk_of(self, row: dict[str, Any]) -> tuple[Any, ...]:
+        """Extract the primary-key tuple from a validated row."""
+        return tuple(row[c] for c in self.primary_key)

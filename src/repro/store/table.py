@@ -1,0 +1,229 @@
+"""A single table: validated rows, primary key, secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.common.errors import IntegrityError, ValidationError
+from repro.store.index import HashIndex, UniqueIndex
+from repro.store.schema import Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An in-memory table with schema validation and hash indexes.
+
+    Rows are plain dicts, validated (and defensively copied) on insert.
+    ``rows()`` yields copies so callers cannot corrupt indexed state by
+    mutating returned rows.  Point lookups by primary key are O(1); indexed
+    equality lookups are O(matches); unindexed scans are O(n).
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._rows: dict[tuple[Any, ...], dict[str, Any]] = {}
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        for combo in schema.unique:
+            self._indexes[combo] = UniqueIndex(combo)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Table name (from the schema)."""
+        return self.schema.name
+
+    def create_index(self, *columns: str) -> None:
+        """Create a (non-unique) hash index over ``columns``.
+
+        Existing rows are indexed immediately.  Creating the same index twice
+        is a no-op.
+        """
+        for col in columns:
+            self.schema.column(col)  # raises ValidationError if unknown
+        key = tuple(columns)
+        if key in self._indexes:
+            return
+        index = HashIndex(key)
+        for pk, row in self._rows.items():
+            index.add(row, pk)
+        self._indexes[key] = index
+
+    def has_index(self, *columns: str) -> bool:
+        """Whether an index over exactly ``columns`` exists."""
+        return tuple(columns) in self._indexes
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, row: dict[str, Any]) -> None:
+        """Validate and insert one row.
+
+        Raises
+        ------
+        SchemaError
+            If the row does not match the schema.
+        IntegrityError
+            If the primary key already exists or a unique constraint fails.
+        """
+        clean = self.schema.validate_row(row)
+        pk = self.schema.pk_of(clean)
+        if pk in self._rows:
+            raise IntegrityError(f"table {self.name!r}: duplicate primary key {pk!r}")
+        # Unique indexes can reject; add to them first so a failure leaves
+        # the table unchanged (non-unique adds cannot fail).
+        added: list[HashIndex] = []
+        try:
+            for index in self._indexes.values():
+                index.add(clean, pk)
+                added.append(index)
+        except IntegrityError:
+            for index in added:
+                index.remove(clean, pk)
+            raise
+        self._rows[pk] = clean
+
+    def insert_many(self, rows: Any) -> int:
+        """Insert an iterable of rows; return the number inserted.
+
+        The insert is not atomic: rows before the first failing row remain.
+        """
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete(self, *pk: Any) -> None:
+        """Delete the row with primary key ``pk``."""
+        key = tuple(pk)
+        row = self._rows.pop(key, None)
+        if row is None:
+            raise IntegrityError(f"table {self.name!r}: no row with primary key {key!r}")
+        for index in self._indexes.values():
+            index.remove(row, key)
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, *pk: Any) -> dict[str, Any]:
+        """Return a copy of the row with primary key ``pk``."""
+        row = self._rows.get(tuple(pk))
+        if row is None:
+            raise IntegrityError(f"table {self.name!r}: no row with primary key {pk!r}")
+        return dict(row)
+
+    def maybe_get(self, *pk: Any) -> dict[str, Any] | None:
+        """Like :meth:`get` but returns ``None`` when the row is absent."""
+        row = self._rows.get(tuple(pk))
+        return None if row is None else dict(row)
+
+    def contains(self, *pk: Any) -> bool:
+        """Whether a row with primary key ``pk`` exists."""
+        return tuple(pk) in self._rows
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over copies of all rows, in insertion order."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def find(self, **equals: Any) -> list[dict[str, Any]]:
+        """Rows whose named columns equal the given values.
+
+        Uses an index when one exists over exactly the queried columns
+        (in any order the index was declared); otherwise scans.
+        """
+        if not equals:
+            return [dict(r) for r in self._rows.values()]
+        for col in equals:
+            self.schema.column(col)
+        index = self._indexes.get(tuple(equals))
+        if index is not None:
+            key = tuple(equals[c] for c in index.columns)
+            return [dict(self._rows[pk]) for pk in index.lookup(key)]
+        return [
+            dict(row)
+            for row in self._rows.values()
+            if all(row[col] == val for col, val in equals.items())
+        ]
+
+    def count(self, **equals: Any) -> int:
+        """Number of rows matching the equality filter (all rows if empty)."""
+        if not equals:
+            return len(self._rows)
+        index = self._indexes.get(tuple(equals))
+        if index is not None:
+            key = tuple(equals[c] for c in index.columns)
+            return len(index.lookup(key))
+        return sum(
+            1
+            for row in self._rows.values()
+            if all(row[col] == val for col, val in equals.items())
+        )
+
+    def distinct(self, column: str) -> list[Any]:
+        """Distinct values of ``column``, in first-seen order."""
+        self.schema.column(column)
+        seen: dict[Any, None] = {}
+        for row in self._rows.values():
+            seen.setdefault(row[column], None)
+        return list(seen)
+
+    def group_count(self, *columns: str) -> dict[tuple[Any, ...], int]:
+        """Histogram of row counts keyed by the given column tuple."""
+        for col in columns:
+            self.schema.column(col)
+        counts: dict[tuple[Any, ...], int] = {}
+        for row in self._rows.values():
+            key = tuple(row[c] for c in columns)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def aggregate(
+        self,
+        column: str,
+        fn: Callable[[list[Any]], Any],
+        **equals: Any,
+    ) -> Any:
+        """Apply ``fn`` to the list of ``column`` values of matching rows."""
+        values = [row[column] for row in self.find(**equals)]
+        return fn(values)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={len(self)})"
+
+    # -- internal hooks for Database ---------------------------------------
+
+    def _pk_exists(self, pk: tuple[Any, ...]) -> bool:
+        return pk in self._rows
+
+    def _validate_only(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate without inserting (used by Database FK checks)."""
+        clean = self.schema.validate_row(row)
+        pk = self.schema.pk_of(clean)
+        if pk in self._rows:
+            raise IntegrityError(f"table {self.name!r}: duplicate primary key {pk!r}")
+        return clean
+
+    def _raw_insert(self, clean: dict[str, Any]) -> None:
+        """Insert a pre-validated row (Database-internal)."""
+        pk = self.schema.pk_of(clean)
+        added: list[HashIndex] = []
+        try:
+            for index in self._indexes.values():
+                index.add(clean, pk)
+                added.append(index)
+        except IntegrityError:
+            for index in added:
+                index.remove(clean, pk)
+            raise
+        self._rows[pk] = clean
+
+    def _missing_column(self, name: str) -> bool:
+        try:
+            self.schema.column(name)
+        except ValidationError:
+            return True
+        return False

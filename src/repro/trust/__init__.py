@@ -1,0 +1,36 @@
+"""Step 3 of the paper: deriving the web of trust, plus §IV.C machinery.
+
+- :func:`derive_trust` -- the derived trust matrix
+  ``T-hat_ij = sum_c A_ic E_jc / sum_c A_ic`` (eq. 5);
+- :func:`direct_connection_matrix` / :func:`baseline_matrix` /
+  :func:`ground_truth_matrix` -- the paper's ``R``, ``B`` and ``T``;
+- :func:`generousness` and :func:`binarize_top_k` -- the per-user top-k(%)
+  conversion of continuous trust values into a binary web of trust;
+- :func:`to_digraph` -- export any trust matrix as a weighted
+  :class:`networkx.DiGraph` for downstream propagation.
+"""
+
+from repro.trust.analysis import WebAnalysis, coverage_comparison, web_analysis
+from repro.trust.binarize import binarize_top_k, generousness
+from repro.trust.connections import (
+    baseline_matrix,
+    direct_connection_matrix,
+    ground_truth_matrix,
+)
+from repro.trust.derive import TrustDeriver, derive_trust
+from repro.trust.graph import from_digraph, to_digraph
+
+__all__ = [
+    "derive_trust",
+    "TrustDeriver",
+    "direct_connection_matrix",
+    "baseline_matrix",
+    "ground_truth_matrix",
+    "generousness",
+    "binarize_top_k",
+    "to_digraph",
+    "from_digraph",
+    "WebAnalysis",
+    "web_analysis",
+    "coverage_comparison",
+]

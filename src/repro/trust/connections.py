@@ -1,0 +1,57 @@
+"""The paper's observed user-pair relations: ``R``, ``B`` and ``T``.
+
+- ``R`` (direct connections): ``R_ij = 1`` iff user *i* rated at least one
+  review written by user *j*;
+- ``B`` (baseline, §IV.C): ``B_ij`` = the mean rating *i* gave to *j*'s
+  reviews -- defined exactly on the support of ``R``;
+- ``T`` (ground truth): the explicit web of trust, binary.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.community import Community
+from repro.matrix import LabelIndex, UserPairMatrix
+
+__all__ = ["direct_connection_matrix", "baseline_matrix", "ground_truth_matrix"]
+
+
+def direct_connection_matrix(
+    community: Community, users: LabelIndex | None = None
+) -> UserPairMatrix:
+    """Build ``R`` with entry values = number of ratings *i* gave *j*.
+
+    The paper treats ``R`` as binary; the stored count is extra diagnostic
+    information (any stored entry means ``R_ij = 1``).
+    """
+    users = users or LabelIndex(community.user_ids())
+    matrix = UserPairMatrix(users)
+    for (rater_id, writer_id), values in community.direct_connections().items():
+        if rater_id == writer_id:
+            continue  # self-connections carry no trust signal
+        matrix.set(rater_id, writer_id, float(len(values)))
+    return matrix
+
+
+def baseline_matrix(community: Community, users: LabelIndex | None = None) -> UserPairMatrix:
+    """Build the paper's baseline ``B``: mean rating per direct connection.
+
+    ``B_ij`` is the average of all ratings user *i* gave to user *j*'s
+    reviews; it exists only where ``R_ij = 1``.
+    """
+    users = users or LabelIndex(community.user_ids())
+    matrix = UserPairMatrix(users)
+    for (rater_id, writer_id), values in community.direct_connections().items():
+        if rater_id == writer_id:
+            continue
+        matrix.set(rater_id, writer_id, sum(values) / len(values))
+    return matrix
+
+
+def ground_truth_matrix(community: Community, users: LabelIndex | None = None) -> UserPairMatrix:
+    """Build the explicit web of trust ``T`` (binary entries of 1.0)."""
+    users = users or LabelIndex(community.user_ids())
+    matrix = UserPairMatrix(users)
+    for truster_id, trustee_id in community.trust_edges():
+        matrix.set(truster_id, trustee_id, 1.0)
+    return matrix

@@ -1,0 +1,53 @@
+"""Bridging trust matrices and :mod:`networkx` digraphs.
+
+Propagation algorithms (:mod:`repro.propagation`) and downstream graph
+analysis consume weighted directed graphs; these helpers convert between
+:class:`repro.matrix.UserPairMatrix` and :class:`networkx.DiGraph` without
+losing the user axis.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.matrix import LabelIndex, UserPairMatrix
+
+__all__ = ["to_digraph", "from_digraph"]
+
+
+def to_digraph(matrix: UserPairMatrix, *, weight_key: str = "trust") -> nx.DiGraph:
+    """Convert a trust matrix into a weighted :class:`networkx.DiGraph`.
+
+    Every user on the axis becomes a node (including isolated ones, so node
+    identity is stable across matrices sharing an axis); every stored entry
+    becomes an edge with its value under ``weight_key``.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(matrix.users)
+    for source, target, value in matrix.entries():
+        graph.add_edge(source, target, **{weight_key: value})
+    return graph
+
+
+def from_digraph(
+    graph: nx.DiGraph,
+    users: LabelIndex | None = None,
+    *,
+    weight_key: str = "trust",
+    default_weight: float = 1.0,
+) -> UserPairMatrix:
+    """Convert a digraph back into a :class:`UserPairMatrix`.
+
+    Parameters
+    ----------
+    users:
+        Axis to use; defaults to the graph's nodes in iteration order.
+    weight_key:
+        Edge attribute holding the trust value; edges missing it get
+        ``default_weight``.
+    """
+    users = users or LabelIndex(str(node) for node in graph.nodes)
+    matrix = UserPairMatrix(users)
+    for source, target, data in graph.edges(data=True):
+        matrix.set(str(source), str(target), float(data.get(weight_key, default_weight)))
+    return matrix

@@ -1,0 +1,131 @@
+"""Tests for the affiliation matrix A (eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.affinity import AffinityConfig, AffinityEstimator, affiliation_matrix
+from repro.affinity.affiliation import _combine
+from repro.common.errors import ValidationError
+
+
+class TestAffinityConfig:
+    def test_default_mode(self):
+        assert AffinityConfig().mode == "both"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            AffinityConfig(mode="everything")
+
+
+class TestPaperFormula:
+    def test_hand_computed_entries(self, two_category_community):
+        """Check eq. 4 term by term on the fixture.
+
+        dave: ratings movies=2 (ra1, rb1), books=1 (rc1); writes nothing.
+        A(dave, movies) = (2/2 + 0)/2 = 0.5 ; A(dave, books) = (1/2 + 0)/2 = 0.25
+        alice: rates books=1; writes movies=2.
+        A(alice, movies) = (0 + 2/2)/2 = 0.5 ; A(alice, books) = (1/1 + 0)/2 = 0.5
+        bob: rates movies=2; writes movies=1.
+        A(bob, movies) = (2/2 + 1/1)/2 = 1.0 ; A(bob, books) = 0
+        """
+        A = affiliation_matrix(two_category_community)
+        assert A.get("dave", "movies") == pytest.approx(0.5)
+        assert A.get("dave", "books") == pytest.approx(0.25)
+        assert A.get("alice", "movies") == pytest.approx(0.5)
+        assert A.get("alice", "books") == pytest.approx(0.5)
+        assert A.get("bob", "movies") == pytest.approx(1.0)
+        assert A.get("bob", "books") == 0.0
+
+    def test_inactive_user_all_zero(self, two_category_community):
+        A = affiliation_matrix(two_category_community)
+        assert A.get("eve", "movies") == 0.0
+        assert A.get("eve", "books") == 0.0
+
+    def test_most_active_category_dominates(self, two_category_community):
+        A = affiliation_matrix(two_category_community)
+        assert A.get("dave", "movies") > A.get("dave", "books")
+
+
+class TestModes:
+    def test_ratings_only(self, two_category_community):
+        A = affiliation_matrix(two_category_community, AffinityConfig(mode="ratings_only"))
+        assert A.get("dave", "movies") == pytest.approx(1.0)
+        assert A.get("dave", "books") == pytest.approx(0.5)
+        # writer-only activity disappears
+        assert A.get("carol", "books") == 0.0
+
+    def test_writing_only(self, two_category_community):
+        A = affiliation_matrix(two_category_community, AffinityConfig(mode="writing_only"))
+        assert A.get("carol", "books") == pytest.approx(1.0)
+        assert A.get("dave", "movies") == 0.0
+
+    def test_both_is_mean_of_single_modes(self, two_category_community):
+        both = affiliation_matrix(two_category_community)
+        ratings = affiliation_matrix(
+            two_category_community, AffinityConfig(mode="ratings_only")
+        )
+        writing = affiliation_matrix(
+            two_category_community, AffinityConfig(mode="writing_only")
+        )
+        np.testing.assert_allclose(
+            both.to_array(), (ratings.to_array() + writing.to_array()) / 2
+        )
+
+    def test_estimator_class_equivalent_to_function(self, two_category_community):
+        assert AffinityEstimator().fit(two_category_community) == affiliation_matrix(
+            two_category_community
+        )
+
+
+count_matrices = st.integers(0, 20).flatmap(
+    lambda _: st.tuples(st.integers(1, 6), st.integers(1, 5)).flatmap(
+        lambda shape: st.tuples(
+            st.lists(
+                st.lists(st.integers(0, 50), min_size=shape[1], max_size=shape[1]),
+                min_size=shape[0],
+                max_size=shape[0],
+            ),
+            st.lists(
+                st.lists(st.integers(0, 50), min_size=shape[1], max_size=shape[1]),
+                min_size=shape[0],
+                max_size=shape[0],
+            ),
+        )
+    )
+)
+
+
+class TestCombineProperties:
+    @given(count_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_values_in_unit_interval(self, matrices):
+        ratings, writings = (np.array(m, dtype=float) for m in matrices)
+        for mode in ("both", "ratings_only", "writing_only"):
+            values = _combine(ratings, writings, mode)
+            assert values.min() >= 0.0
+            assert values.max() <= 1.0 + 1e-12
+
+    @given(count_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_each_active_user_has_a_full_affinity_category(self, matrices):
+        # eq. 4 normalises by the row max, so any user with rating activity
+        # has some category whose rating term equals exactly 1
+        ratings, writings = (np.array(m, dtype=float) for m in matrices)
+        values = _combine(ratings, writings, "ratings_only")
+        for i in range(ratings.shape[0]):
+            if ratings[i].max() > 0:
+                assert values[i].max() == pytest.approx(1.0)
+            else:
+                assert values[i].max() == 0.0
+
+    @given(count_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_row_order_preserved_under_scaling(self, matrices):
+        # multiplying a user's counts by a constant must not change their
+        # affinity vector (eq. 4 is scale-free per user)
+        ratings, writings = (np.array(m, dtype=float) for m in matrices)
+        before = _combine(ratings, writings, "both")
+        after = _combine(ratings * 3, writings * 3, "both")
+        np.testing.assert_allclose(before, after)

@@ -1,0 +1,66 @@
+"""Tests for identifier helpers."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.identifiers import (
+    IdAllocator,
+    category_id,
+    object_id,
+    review_id,
+    user_id,
+)
+
+
+class TestIdFormatting:
+    def test_prefixes_distinguish_entity_kinds(self):
+        assert user_id(1) == "u000001"
+        assert category_id(1) == "c000001"
+        assert object_id(1) == "o000001"
+        assert review_id(1) == "r000001"
+
+    def test_zero_padded_to_six_digits(self):
+        assert user_id(0) == "u000000"
+        assert user_id(123456) == "u123456"
+
+    def test_wide_indices_do_not_truncate(self):
+        assert user_id(1_234_567) == "u1234567"
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValidationError):
+            user_id(-1)
+
+    def test_rejects_bool_index(self):
+        with pytest.raises(ValidationError):
+            user_id(True)
+
+    def test_ids_sort_in_index_order_within_padding(self):
+        ids = [user_id(i) for i in range(100)]
+        assert ids == sorted(ids)
+
+
+class TestIdAllocator:
+    def test_allocates_monotonically(self):
+        alloc = IdAllocator("r")
+        assert [alloc.next() for _ in range(3)] == ["r000000", "r000001", "r000002"]
+
+    def test_start_offset(self):
+        alloc = IdAllocator("u", start=10)
+        assert alloc.next() == "u000010"
+
+    def test_allocated_count(self):
+        alloc = IdAllocator("o")
+        assert alloc.allocated == 0
+        alloc.next()
+        alloc.next()
+        assert alloc.allocated == 2
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(ValidationError):
+            IdAllocator("1")
+        with pytest.raises(ValidationError):
+            IdAllocator("")
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValidationError):
+            IdAllocator("u", start=-5)

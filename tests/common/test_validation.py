@@ -1,0 +1,89 @@
+"""Tests for argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.validation import (
+    require,
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never shown")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="custom message"):
+            require(False, "custom message")
+
+
+class TestRequireType:
+    def test_accepts_matching_type(self):
+        require_type("x", 3, int)
+        require_type("x", "s", str)
+        require_type("x", 3.0, (int, float))
+
+    def test_rejects_wrong_type_with_param_name(self):
+        with pytest.raises(ValidationError, match="max_iter"):
+            require_type("max_iter", "10", int)
+
+    def test_rejects_bool_where_number_expected(self):
+        with pytest.raises(ValidationError, match="bool"):
+            require_type("count", True, int)
+
+
+class TestRequirePositive:
+    @pytest.mark.parametrize("value", [1, 0.001, 10**9])
+    def test_accepts_positive(self, value):
+        require_positive("v", value)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValidationError):
+            require_positive("v", value)
+
+    @pytest.mark.parametrize("value", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValidationError):
+            require_positive("v", value)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        require_non_negative("v", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_non_negative("v", -1e-9)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds_accepted(self):
+        require_in_range("v", 0.0, 0.0, 1.0)
+        require_in_range("v", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            require_in_range("v", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="damping"):
+            require_in_range("damping", 2.0, 0.0, 1.0)
+
+
+class TestRequireFraction:
+    @pytest.mark.parametrize("value", [0, 0.5, 1, 0.999999])
+    def test_accepts_fractions(self, value):
+        require_fraction("f", value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, math.nan])
+    def test_rejects_out_of_unit_interval(self, value):
+        with pytest.raises(ValidationError):
+            require_fraction("f", value)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small hand-built communities with known structure."""
+
+import pytest
+
+from repro.community import (
+    Community,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    TrustStatement,
+)
+
+
+@pytest.fixture
+def two_category_community():
+    """A deterministic 5-user, 2-category community.
+
+    Structure (categories: ``movies``, ``books``):
+
+    - **alice** writes two movie reviews (ra1 on m1, ra2 on m2);
+    - **bob** writes one movie review (rb1 on m1) and rates alice's reviews;
+    - **carol** writes one book review (rc1 on b1);
+    - **dave** only rates (movies and books);
+    - **eve** is completely inactive.
+
+    Ratings: bob->ra1 1.0, dave->ra1 0.8, bob->ra2 0.8, dave->rb1 0.4,
+    alice->rc1 0.6, dave->rc1 0.6.
+
+    Explicit trust: bob->alice, dave->alice, alice->carol.
+    """
+    return Community.from_records(
+        name="fixture",
+        users=["alice", "bob", "carol", "dave", "eve"],
+        categories=["movies", "books"],
+        objects=[
+            ReviewedObject("m1", "movies"),
+            ReviewedObject("m2", "movies"),
+            ReviewedObject("b1", "books"),
+        ],
+        reviews=[
+            Review("ra1", "alice", "m1"),
+            Review("ra2", "alice", "m2"),
+            Review("rb1", "bob", "m1"),
+            Review("rc1", "carol", "b1"),
+        ],
+        ratings=[
+            ReviewRating("bob", "ra1", 1.0),
+            ReviewRating("dave", "ra1", 0.8),
+            ReviewRating("bob", "ra2", 0.8),
+            ReviewRating("dave", "rb1", 0.4),
+            ReviewRating("alice", "rc1", 0.6),
+            ReviewRating("dave", "rc1", 0.6),
+        ],
+        trust=[
+            TrustStatement("bob", "alice"),
+            TrustStatement("dave", "alice"),
+            TrustStatement("alice", "carol"),
+        ],
+    )

@@ -1,0 +1,84 @@
+"""Property test: Epinions file round-trip on randomised communities."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.community import (
+    Community,
+    HELPFULNESS_SCALE,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    TrustStatement,
+)
+from repro.datasets import load_epinions_community, write_epinions_files
+
+
+@st.composite
+def random_communities(draw):
+    """Small random-but-valid communities (2-6 users, 1-3 categories)."""
+    num_users = draw(st.integers(2, 6))
+    num_categories = draw(st.integers(1, 3))
+    users = [f"user{i}" for i in range(num_users)]
+    categories = [f"cat{k}" for k in range(num_categories)]
+
+    community = Community("prop")
+    for user in users:
+        community.add_user(user)
+    for category in categories:
+        community.add_category(category)
+
+    num_objects = draw(st.integers(1, 5))
+    for o in range(num_objects):
+        community.add_object(
+            ReviewedObject(f"obj{o}", categories[o % num_categories])
+        )
+
+    review_count = 0
+    for o in range(num_objects):
+        for writer in users:
+            if draw(st.booleans()):
+                community.add_review(Review(f"rev{review_count}", writer, f"obj{o}"))
+                review_count += 1
+
+    for review in list(community.iter_reviews()):
+        for rater in users:
+            if rater != review.writer_id and draw(st.booleans()):
+                value = draw(st.sampled_from(HELPFULNESS_SCALE))
+                community.add_rating(ReviewRating(rater, review.review_id, value))
+
+    for source in users:
+        for target in users:
+            if source != target and draw(st.integers(0, 4)) == 0:
+                community.add_trust(TrustStatement(source, target))
+    return community
+
+
+class TestEpinionsRoundtripProperty:
+    @given(random_communities())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_roundtrip_preserves_relations(self, tmp_path_factory, community):
+        directory = str(tmp_path_factory.mktemp("epinions"))
+        write_epinions_files(community, directory)
+        reloaded = load_epinions_community(directory)
+
+        assert reloaded.num_reviews() == community.num_reviews()
+        assert reloaded.num_ratings() == community.num_ratings()
+        assert set(reloaded.trust_edges()) == set(community.trust_edges())
+
+        original = community.direct_connections()
+        rebuilt = reloaded.direct_connections()
+        assert set(rebuilt) == set(original)
+        for pair, values in original.items():
+            assert sorted(rebuilt[pair]) == pytest.approx(sorted(values))
+
+        # category assignment of every review survives
+        for review in community.iter_reviews():
+            assert reloaded.review_category(
+                review.review_id
+            ) == community.review_category(review.review_id)

@@ -1,0 +1,77 @@
+"""Tests for temporal trust evolution."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datasets import CommunityProfile, generate_community
+from repro.datasets.evolution import evolve_trust
+from repro.trust import direct_connection_matrix, ground_truth_matrix
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    profile = CommunityProfile(
+        num_users=120, category_names=("a", "b"), objects_per_category=25,
+        num_advisors=6, num_top_reviewers=8,
+    )
+    return generate_community(profile, seed=41)
+
+
+class TestEvolveTrust:
+    def test_original_edges_preserved(self, dataset):
+        evolution = evolve_trust(dataset)
+        original = ground_truth_matrix(dataset.community)
+        assert original.support() <= evolution.future_trust.support()
+
+    def test_new_edges_disjoint_from_original(self, dataset):
+        evolution = evolve_trust(dataset)
+        original = set(dataset.community.trust_edges())
+        assert not (evolution.new_edges & original)
+
+    def test_new_edges_come_from_connections(self, dataset):
+        evolution = evolve_trust(dataset)
+        connections = direct_connection_matrix(dataset.community).support()
+        assert evolution.new_edges <= connections
+
+    def test_some_conversion_happens(self, dataset):
+        evolution = evolve_trust(dataset, conversion_fraction=0.8)
+        assert len(evolution.new_edges) > 0
+
+    def test_conversion_fraction_scales_growth(self, dataset):
+        low = evolve_trust(dataset, conversion_fraction=0.2, seed=2)
+        high = evolve_trust(dataset, conversion_fraction=0.9, seed=2)
+        assert len(high.new_edges) > len(low.new_edges)
+
+    def test_deterministic_per_seed(self, dataset):
+        a = evolve_trust(dataset, seed=3)
+        b = evolve_trust(dataset, seed=3)
+        assert a.new_edges == b.new_edges
+
+    def test_seed_changes_conversions(self, dataset):
+        a = evolve_trust(dataset, seed=3)
+        b = evolve_trust(dataset, seed=4)
+        assert a.new_edges != b.new_edges
+
+    def test_fraction_validation(self, dataset):
+        with pytest.raises(ValidationError):
+            evolve_trust(dataset, conversion_fraction=1.5)
+
+    def test_alignment_preference(self, dataset):
+        """Converted edges must have higher latent alignment on average
+        than unconverted candidates -- evolution follows preferences."""
+        import numpy as np
+
+        evolution = evolve_trust(dataset, conversion_fraction=0.4, seed=5)
+        latents = dataset.latents
+        original = set(dataset.community.trust_edges())
+        connections = direct_connection_matrix(dataset.community).support()
+        candidates = connections - original
+        unconverted = candidates - evolution.new_edges
+        if evolution.new_edges and unconverted:
+            converted_scores = [
+                latents.expertise_alignment(s, t) for s, t in evolution.new_edges
+            ]
+            unconverted_scores = [
+                latents.expertise_alignment(s, t) for s, t in list(unconverted)[:500]
+            ]
+            assert np.mean(converted_scores) > np.mean(unconverted_scores)

@@ -1,0 +1,73 @@
+"""Tests for CommunityProfile validation."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datasets import VIDEO_DVD_SUBCATEGORIES, CommunityProfile
+
+
+class TestDefaults:
+    def test_default_categories_match_paper(self):
+        profile = CommunityProfile()
+        assert profile.category_names == VIDEO_DVD_SUBCATEGORIES
+        assert profile.num_categories == 12
+
+    def test_default_designation_sizes_match_paper(self):
+        profile = CommunityProfile()
+        assert profile.num_advisors == 22
+        assert profile.num_top_reviewers == 40
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_users": 0},
+            {"num_users": -5},
+            {"category_names": ()},
+            {"category_names": ("a", "a")},
+            {"objects_per_category": 0},
+            {"interest_concentration": 0.0},
+            {"category_weight_decay": 1.5},
+            {"writer_fraction": 1.2},
+            {"rater_fraction": -0.1},
+            {"writer_activity_exponent": 1.0},
+            {"rater_activity_exponent": 0.9},
+            {"activity_cap": 0},
+            {"rating_noise": -0.1},
+            {"rating_exploration": 1.5},
+            {"writing_exploration": -0.2},
+            {"trust_noise": 2.0},
+            {"trust_exposure": -0.5},
+            {"trust_out_of_connection_fraction": 1.0001},
+            {"trust_alignment_sharpness": 0.0},
+            {"num_advisors": -1},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            CommunityProfile(**kwargs)
+
+    def test_frozen(self):
+        profile = CommunityProfile()
+        with pytest.raises(AttributeError):
+            profile.num_users = 10
+
+
+class TestScaled:
+    def test_scales_population(self):
+        profile = CommunityProfile(num_users=100, objects_per_category=10)
+        bigger = profile.scaled(2.0)
+        assert bigger.num_users == 200
+        assert bigger.objects_per_category == 20
+
+    def test_preserves_other_knobs(self):
+        profile = CommunityProfile(rating_noise=0.4)
+        assert profile.scaled(0.5).rating_noise == 0.4
+
+    def test_never_scales_to_zero(self):
+        assert CommunityProfile(num_users=3).scaled(0.01).num_users == 1
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValidationError):
+            CommunityProfile().scaled(0.0)

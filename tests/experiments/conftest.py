@@ -1,0 +1,20 @@
+"""Shared experiment fixtures: one small pipeline run per test session."""
+
+import pytest
+
+from repro.datasets import CommunityProfile, generate_community
+from repro.experiments import run_pipeline
+
+#: Small but structurally faithful profile: all 12 sub-categories, smaller
+#: population so the full suite stays fast.
+SMALL_PROFILE = CommunityProfile(num_users=250, num_advisors=12, num_top_reviewers=16)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    return generate_community(SMALL_PROFILE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def artifacts(small_dataset):
+    return run_pipeline(dataset=small_dataset)

@@ -1,0 +1,42 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablations import render_ablations, run_ablations
+
+
+@pytest.fixture(scope="module")
+def results(small_dataset):
+    return run_ablations(small_dataset)
+
+
+class TestAblations:
+    def test_all_configurations_present(self, results):
+        names = [result.name for result in results]
+        assert names[0] == "default (paper)"
+        assert any("A1" in name for name in names)
+        assert any("A2" in name for name in names)
+        assert sum("A3" in name for name in names) == 2
+        assert any("A4" in name for name in names)
+
+    def test_metrics_in_unit_interval(self, results):
+        for result in results:
+            assert 0.0 <= result.metrics.recall <= 1.0
+            assert 0.0 <= result.metrics.precision_in_r <= 1.0
+            assert 0.0 <= result.metrics.nontrust_as_trust_rate <= 1.0
+            assert 0.0 <= result.auc <= 1.0
+
+    def test_ablations_actually_change_something(self, results):
+        default = results[0]
+        changed = [
+            r for r in results[1:] if r.metrics.recall != default.metrics.recall
+        ]
+        assert len(changed) >= 2
+
+    def test_default_recall_reasonable(self, results):
+        assert results[0].metrics.recall > 0.5
+
+    def test_render(self, results):
+        text = render_ablations(results)
+        assert "Ablations" in text
+        assert "default (paper)" in text

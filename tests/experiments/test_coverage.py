@@ -1,0 +1,46 @@
+"""Tests for the path-coverage experiment."""
+
+import pytest
+
+from repro.experiments import render_coverage, run_coverage
+
+
+@pytest.fixture(scope="module")
+def coverage(artifacts):
+    return run_coverage(artifacts, samples=80, seed=0)
+
+
+class TestCoverage:
+    def test_both_webs_analysed(self, coverage):
+        assert set(coverage) == {"explicit", "derived"}
+
+    def test_derived_web_covers_more_pairs(self, coverage):
+        """The framework's point: the derived web supports vastly more
+        path-based trust queries than the sparse explicit web."""
+        assert (
+            coverage["derived"].reachable_pair_fraction
+            > coverage["explicit"].reachable_pair_fraction
+        )
+
+    def test_more_users_can_start_queries(self, coverage):
+        assert coverage["derived"].sources_fraction >= coverage["explicit"].sources_fraction
+
+    def test_fractions_are_fractions(self, coverage):
+        for analysis in coverage.values():
+            assert 0.0 <= analysis.sources_fraction <= 1.0
+            assert 0.0 <= analysis.reachable_pair_fraction <= 1.0 + 1e-9
+            assert 0.0 <= analysis.largest_scc_fraction <= 1.0
+
+    def test_render(self, coverage):
+        text = render_coverage(coverage)
+        assert "Path coverage" in text
+        assert "explicit web T" in text
+        assert "more source-sink" in text
+
+
+class TestCoverageCli:
+    def test_cli_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["coverage", "--users", "150", "--seed", "3"]) == 0
+        assert "Path coverage" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Tests for the future-trust experiment."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import (
+    render_future_trust,
+    run_future_trust,
+    run_pipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def result(artifacts):
+    return run_future_trust(artifacts, seed=1)
+
+
+class TestFutureTrust:
+    def test_edge_partition(self, result, artifacts):
+        nontrust = len(
+            artifacts.connections.subtract_support(artifacts.ground_truth)
+        )
+        assert result.predicted_edges + result.unpredicted_edges == nontrust
+
+    def test_conversions_bounded(self, result):
+        assert 0 <= result.predicted_converted <= result.predicted_edges
+        assert 0 <= result.unpredicted_converted <= result.unpredicted_edges
+
+    def test_predicted_edges_convert_more(self, result):
+        """The paper's future-trust claim, tested causally."""
+        assert result.lift > 1.0
+
+    def test_rates_are_fractions(self, result):
+        assert 0.0 <= result.predicted_rate <= 1.0
+        assert 0.0 <= result.unpredicted_rate <= 1.0
+
+    def test_requires_synthetic_dataset(self, two_category_community):
+        external = run_pipeline(community=two_category_community)
+        with pytest.raises(ConfigError):
+            run_future_trust(external)
+
+    def test_render(self, result):
+        text = render_future_trust(result)
+        assert "Future-trust check" in text
+        assert "lift" in text
+
+    def test_lift_edge_cases(self):
+        from repro.experiments.future_trust import FutureTrustResult
+
+        no_base = FutureTrustResult(
+            predicted_edges=10, unpredicted_edges=10,
+            predicted_converted=5, unpredicted_converted=0,
+        )
+        assert no_base.lift == float("inf")
+        nothing = FutureTrustResult(
+            predicted_edges=0, unpredicted_edges=0,
+            predicted_converted=0, unpredicted_converted=0,
+        )
+        assert nothing.lift == 0.0

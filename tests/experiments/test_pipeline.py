@@ -1,0 +1,81 @@
+"""Tests for the shared pipeline."""
+
+import pytest
+
+from repro.affinity import AffinityConfig
+from repro.experiments import run_pipeline
+from repro.reputation import RiggsConfig
+from repro.trust import TrustDeriver
+
+
+class TestPipelineArtifacts:
+    def test_axes_consistent(self, artifacts):
+        users = artifacts.derived.users
+        assert artifacts.connections.users == users
+        assert artifacts.baseline.users == users
+        assert artifacts.ground_truth.users == users
+        assert artifacts.expertise.users == users
+        assert artifacts.affiliation.users == users
+
+    def test_baseline_support_is_connection_support(self, artifacts):
+        assert artifacts.baseline.support() == artifacts.connections.support()
+
+    def test_generousness_in_unit_interval(self, artifacts):
+        for k in artifacts.generousness_by_user.values():
+            assert 0.0 <= k <= 1.0
+
+    def test_binary_matrices_are_binary(self, artifacts):
+        for matrix in (artifacts.derived_binary, artifacts.baseline_binary):
+            values = {v for _, _, v in matrix.entries()}
+            assert values <= {1.0}
+
+    def test_derived_has_only_positive_entries(self, artifacts):
+        assert all(v > 0 for _, _, v in artifacts.derived.entries())
+
+    def test_derived_much_denser_than_connections(self, artifacts):
+        assert artifacts.derived.num_entries() > 3 * artifacts.connections.num_entries()
+
+    def test_dataset_attached(self, artifacts, small_dataset):
+        assert artifacts.dataset is small_dataset
+
+    def test_category_names(self, artifacts):
+        names = artifacts.category_names()
+        assert names["c000000"] == "Action/Adventure"
+
+
+class TestPipelineConfigs:
+    def test_explicit_community_source(self, two_category_community):
+        artifacts = run_pipeline(community=two_category_community)
+        assert artifacts.dataset is None
+        assert artifacts.community is two_category_community
+
+    def test_config_overrides_change_result(self, small_dataset):
+        default = run_pipeline(dataset=small_dataset)
+        unweighted = run_pipeline(
+            dataset=small_dataset,
+            riggs_config=RiggsConfig(weight_by_rater_reputation=False),
+        )
+        assert default.expertise.to_array().sum() != pytest.approx(
+            unweighted.expertise.to_array().sum()
+        )
+
+    def test_affinity_config_respected(self, small_dataset):
+        writing_only = run_pipeline(
+            dataset=small_dataset, affinity_config=AffinityConfig(mode="writing_only")
+        )
+        # pure raters have zero affiliation rows under writing_only
+        raters_only = [
+            u
+            for u in writing_only.community.user_ids()
+            if writing_only.community.reviews_by_writer(u) == []
+            and writing_only.community.ratings_by_rater(u) != []
+        ]
+        assert raters_only, "fixture should contain pure raters"
+        for user in raters_only[:10]:
+            assert writing_only.affiliation.user_row(user).sum() == 0.0
+
+    def test_deriver_threshold_respected(self, small_dataset):
+        thresholded = run_pipeline(
+            dataset=small_dataset, deriver=TrustDeriver(min_value=0.2)
+        )
+        assert all(v > 0.2 for _, _, v in thresholded.derived.entries())

@@ -1,0 +1,37 @@
+"""Tests for the §V propagation comparison."""
+
+import pytest
+
+from repro.experiments import (
+    render_propagation_comparison,
+    run_propagation_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(artifacts):
+    return run_propagation_comparison(artifacts, top_k=15, num_sources=6)
+
+
+class TestPropagationComparison:
+    def test_correlations_in_range(self, comparison):
+        assert -1.0 <= comparison.eigentrust_rank_correlation <= 1.0
+        assert -1.0 <= comparison.appleseed_mean_rank_correlation <= 1.0
+
+    def test_overlaps_are_fractions(self, comparison):
+        assert 0.0 <= comparison.eigentrust_top_k_overlap <= 1.0
+        assert 0.0 <= comparison.appleseed_mean_top_k_overlap <= 1.0
+
+    def test_derived_web_agrees_with_explicit(self, comparison):
+        """The future-work claim: the derived web is a usable propagation
+        substrate, so global rankings must agree far better than chance."""
+        assert comparison.eigentrust_rank_correlation > 0.2
+        assert comparison.eigentrust_top_k_overlap > 0.2
+
+    def test_appleseed_sources_ran(self, comparison):
+        assert comparison.appleseed_sources > 0
+
+    def test_render(self, comparison):
+        text = render_propagation_comparison(comparison)
+        assert "EigenTrust" in text
+        assert "Appleseed" in text

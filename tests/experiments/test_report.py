@@ -1,0 +1,52 @@
+"""Tests for the markdown report builder."""
+
+import pytest
+
+from repro.experiments import build_report, run_pipeline
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self, artifacts):
+        return build_report(artifacts, include_extensions=False)
+
+    def test_contains_all_paper_sections(self, report):
+        for heading in (
+            "## Dataset",
+            "Table 2",
+            "Table 3",
+            "Fig. 3",
+            "Table 4",
+            "Score gap",
+        ):
+            assert heading in report
+
+    def test_extensions_toggle(self, report, artifacts):
+        assert "Ablations" not in report
+        # extensions add the remaining sections (slow; smoke-check on the
+        # toggle only via section list of the fast variant)
+
+    def test_markdown_structure(self, report):
+        assert report.startswith("# Reproduction report")
+        assert report.count("```text") == report.count("```") / 2
+
+    def test_external_community_skips_designation_tables(self, two_category_community):
+        artifacts = run_pipeline(community=two_category_community)
+        report = build_report(artifacts, include_extensions=False)
+        assert "Table 2" not in report
+        assert "Table 4" in report
+
+    def test_custom_title(self, artifacts):
+        report = build_report(artifacts, title="My Run", include_extensions=False)
+        assert report.startswith("# My Run")
+
+
+class TestReportCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = str(tmp_path / "report.md")
+        assert main(["report", "--users", "120", "--seed", "3", "--out", out_file]) == 0
+        with open(out_file) as f:
+            content = f.read()
+        assert "Table 4" in content

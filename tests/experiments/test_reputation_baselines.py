@@ -1,0 +1,50 @@
+"""Tests for the reputation-model comparison experiment."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import run_pipeline
+from repro.experiments.reputation_baselines import (
+    render_reputation_baselines,
+    run_reputation_baselines,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(artifacts):
+    return run_reputation_baselines(artifacts)
+
+
+class TestReputationBaselines:
+    def test_three_models_each(self, comparison):
+        assert set(comparison.rater_q1) == {
+            "riggs (paper)",
+            "mean received",
+            "activity volume",
+        }
+        assert set(comparison.writer_q1) == set(comparison.rater_q1)
+
+    def test_riggs_beats_baselines(self, comparison):
+        """The paper's model must outrank both simpler alternatives."""
+        riggs = comparison.rater_q1["riggs (paper)"]
+        assert riggs > comparison.rater_q1["mean received"]
+        assert riggs > comparison.rater_q1["activity volume"]
+        riggs_w = comparison.writer_q1["riggs (paper)"]
+        assert riggs_w > comparison.writer_q1["mean received"]
+        assert riggs_w > comparison.writer_q1["activity volume"]
+
+    def test_fractions(self, comparison):
+        for value in list(comparison.rater_q1.values()) + list(
+            comparison.writer_q1.values()
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_requires_synthetic_dataset(self, two_category_community):
+        external = run_pipeline(community=two_category_community)
+        with pytest.raises(ConfigError):
+            run_reputation_baselines(external)
+
+    def test_render(self, comparison):
+        text = render_reputation_baselines(comparison)
+        assert "Reputation-model comparison" in text
+        assert "riggs (paper)" in text

@@ -1,0 +1,57 @@
+"""Tests for the sensitivity sweeps."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.datasets import CommunityProfile
+from repro.experiments.sensitivity import (
+    render_sensitivity,
+    run_sensitivity,
+)
+
+SMALL = CommunityProfile(num_users=150, num_advisors=8, num_top_reviewers=10)
+
+
+@pytest.fixture(scope="module")
+def noise_sweep():
+    return run_sensitivity(
+        "rating_noise", [0.1, 0.4], base_profile=SMALL, seed=3
+    )
+
+
+class TestRunSensitivity:
+    def test_one_point_per_value(self, noise_sweep):
+        assert [p.value for p in noise_sweep] == [0.1, 0.4]
+        assert all(p.parameter == "rating_noise" for p in noise_sweep)
+
+    def test_recall_advantage_positive_across_sweep(self, noise_sweep):
+        """The headline conclusion must not hinge on the noise setting."""
+        for point in noise_sweep:
+            assert point.recall_advantage > 0
+
+    def test_parameter_actually_varies_outcome(self, noise_sweep):
+        a, b = noise_sweep
+        assert a.result.model.recall != b.result.model.recall
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigError, match="not sweepable"):
+            run_sensitivity("ghost_knob", [1, 2], base_profile=SMALL)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            run_sensitivity("rating_noise", [], base_profile=SMALL)
+
+    def test_population_sweep(self):
+        points = run_sensitivity("num_users", [100, 180], base_profile=SMALL, seed=3)
+        assert points[0].result.model.trust_in_r < points[1].result.model.trust_in_r
+
+
+class TestRenderSensitivity:
+    def test_render(self, noise_sweep):
+        text = render_sensitivity(noise_sweep)
+        assert "Sensitivity of Table 4 to rating_noise" in text
+        assert "advantage" in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_sensitivity([])

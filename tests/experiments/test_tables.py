@@ -1,0 +1,169 @@
+"""Tests for the per-table experiment runners (shape assertions).
+
+These tests assert the *qualitative shape* the reproduction must preserve
+(DESIGN.md §4), not absolute numbers: advisor concentration in Q1, density
+orderings, the model-vs-baseline trade-off of Table 4.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments import (
+    render_fig3,
+    render_score_gap,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_fig3,
+    run_pipeline,
+    run_score_gap,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+class TestTable2:
+    def test_advisors_concentrate_in_q1(self, artifacts):
+        report = run_table2(artifacts)
+        assert report.total_experts > 0
+        assert report.overall_q1_fraction > 0.5
+        q1, q2, q3, q4 = report.overall_quartiles
+        assert q1 > q4  # heavily skewed toward the top
+
+    def test_every_category_has_a_row(self, artifacts):
+        report = run_table2(artifacts)
+        # advisors explore, so they rate in (almost) every sub-category
+        assert len(report.rows) >= 10
+
+    def test_min_activity_reduces_eligible(self, artifacts):
+        paper_rule = run_table2(artifacts)
+        strict = run_table2(artifacts, min_activity=5)
+        assert strict.total_experts < paper_rule.total_experts
+
+    def test_explicit_advisors_override(self, artifacts):
+        report = run_table2(artifacts, advisors=list(artifacts.dataset.advisors[:3]))
+        per_category_max = max(row.num_experts for row in report.rows)
+        assert per_category_max <= 3
+
+    def test_external_community_requires_advisors(self, two_category_community):
+        external = run_pipeline(community=two_category_community)
+        with pytest.raises(ConfigError):
+            run_table2(external)
+
+    def test_render(self, artifacts):
+        text = render_table2(run_table2(artifacts))
+        assert "Table 2" in text
+        assert "Overall" in text
+        assert "Q1(Top)" in text
+
+
+class TestTable3:
+    def test_top_reviewers_concentrate_in_q1(self, artifacts):
+        report = run_table3(artifacts)
+        assert report.total_experts > 0
+        assert report.overall_q1_fraction > 0.4
+        q1, _, _, q4 = report.overall_quartiles
+        assert q1 > q4
+
+    def test_raters_cleaner_than_writers(self, artifacts):
+        """The paper's Table 2 (98.4%) beats its Table 3 (89.4%)."""
+        raters = run_table2(artifacts)
+        writers = run_table3(artifacts)
+        assert raters.overall_q1_fraction >= writers.overall_q1_fraction
+
+    def test_external_community_requires_reviewers(self, two_category_community):
+        external = run_pipeline(community=two_category_community)
+        with pytest.raises(ConfigError):
+            run_table3(external)
+
+    def test_render(self, artifacts):
+        text = render_table3(run_table3(artifacts))
+        assert "Table 3" in text
+        assert "TopReviewers" in text
+
+
+class TestFig3:
+    def test_density_ordering(self, artifacts):
+        """T-hat must be much denser than R, which is denser than T∩R."""
+        report = run_fig3(artifacts)
+        assert report.derived_density > report.connection_density > 0
+        assert report.connection_entries > report.trust_in_connections
+        assert report.densification_vs_trust > 2.0
+
+    def test_overlap_regions_partition_trust(self, artifacts):
+        report = run_fig3(artifacts)
+        assert (
+            report.trust_in_connections + report.trust_outside_connections
+            == report.trust_entries
+        )
+
+    def test_trust_outside_connections_nonempty(self, artifacts):
+        # the word-of-mouth region (T - R) the paper highlights
+        report = run_fig3(artifacts)
+        assert report.trust_outside_connections > 0
+
+    def test_render(self, artifacts):
+        text = render_fig3(run_fig3(artifacts))
+        assert "Fig. 3" in text
+        assert "denser than" in text
+
+
+class TestTable4:
+    def test_paper_orderings_hold(self, artifacts):
+        result = run_table4(artifacts)
+        assert result.orderings_hold, (
+            f"model {result.model} vs baseline {result.baseline}"
+        )
+
+    def test_model_recall_beats_baseline(self, artifacts):
+        result = run_table4(artifacts)
+        assert result.model.recall > result.baseline.recall + 0.1
+
+    def test_baseline_recall_equals_precision(self, artifacts):
+        """Structural property of binarising on R's support at k_i."""
+        result = run_table4(artifacts)
+        assert result.baseline.recall == pytest.approx(
+            result.baseline.precision_in_r, abs=0.03
+        )
+
+    def test_model_trades_precision_for_recall(self, artifacts):
+        result = run_table4(artifacts)
+        assert result.model.precision_in_r < result.baseline.precision_in_r
+        assert (
+            result.model.nontrust_as_trust_rate
+            > result.baseline.nontrust_as_trust_rate
+        )
+
+    def test_counts_consistent(self, artifacts):
+        result = run_table4(artifacts)
+        for metrics in (result.model, result.baseline):
+            assert (
+                metrics.true_positives + metrics.false_positives_in_r
+                == metrics.predicted_in_r
+            )
+            assert metrics.true_positives <= metrics.trust_in_r
+
+    def test_render(self, artifacts):
+        text = render_table4(run_table4(artifacts))
+        assert "Table 4" in text
+        assert "T-hat (our model)" in text
+        assert "B (baseline)" in text
+
+
+class TestScoreGap:
+    def test_both_regions_populated(self, artifacts):
+        report = run_score_gap(artifacts)
+        assert report.trusted_count > 0
+        assert report.untrusted_count > 0
+
+    def test_means_are_close(self, artifacts):
+        """Honest reproduction: predicted R-T scores look like predicted
+        R∩T scores (the paper's future-trust reading), so the two means
+        must be within 10% of each other."""
+        report = run_score_gap(artifacts)
+        assert report.untrusted_mean == pytest.approx(report.trusted_mean, rel=0.10)
+
+    def test_render(self, artifacts):
+        text = render_score_gap(run_score_gap(artifacts))
+        assert "mean gap" in text

@@ -1,0 +1,59 @@
+"""Tests for LabelIndex."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import LabelIndex
+
+
+class TestConstruction:
+    def test_orders_labels(self):
+        idx = LabelIndex(["b", "a", "c"])
+        assert idx.labels == ("b", "a", "c")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            LabelIndex(["a", "a"])
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValidationError):
+            LabelIndex(["a", ""])
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(ValidationError):
+            LabelIndex(["a", 3])  # type: ignore[list-item]
+
+    def test_empty_index_allowed(self):
+        assert len(LabelIndex([])) == 0
+
+
+class TestLookup:
+    @pytest.fixture
+    def idx(self):
+        return LabelIndex(["u1", "u2", "u3"])
+
+    def test_position_roundtrip(self, idx):
+        for pos, label in enumerate(idx):
+            assert idx.position(label) == pos
+            assert idx.label(pos) == label
+
+    def test_unknown_label(self, idx):
+        with pytest.raises(KeyError):
+            idx.position("ghost")
+
+    def test_position_out_of_range(self, idx):
+        with pytest.raises(IndexError):
+            idx.label(3)
+        with pytest.raises(IndexError):
+            idx.label(-1)
+
+    def test_contains(self, idx):
+        assert "u2" in idx
+        assert "ghost" not in idx
+
+    def test_equality_and_hash(self, idx):
+        same = LabelIndex(["u1", "u2", "u3"])
+        different = LabelIndex(["u1", "u3", "u2"])
+        assert idx == same
+        assert hash(idx) == hash(same)
+        assert idx != different

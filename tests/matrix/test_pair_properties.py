@@ -1,0 +1,67 @@
+"""Model-based property tests: UserPairMatrix against a plain-dict model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix import UserPairMatrix
+
+USERS = [f"u{i}" for i in range(5)]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "accumulate", "discard"]),
+        st.integers(0, 4),
+        st.integers(0, 4),
+        st.floats(-10, 10, allow_nan=False, allow_infinity=False, width=32),
+    ),
+    max_size=80,
+)
+
+
+class TestPairMatrixAgainstDictModel:
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference_model(self, ops):
+        matrix = UserPairMatrix(USERS)
+        model: dict[tuple[str, str], float] = {}
+
+        for op, i, j, value in ops:
+            source, target = USERS[i], USERS[j]
+            if op == "set":
+                matrix.set(source, target, value)
+                model[(source, target)] = float(value)
+            elif op == "accumulate":
+                matrix.accumulate(source, target, value)
+                model[(source, target)] = model.get((source, target), 0.0) + float(value)
+            else:
+                matrix.discard(source, target)
+                model.pop((source, target), None)
+
+        assert matrix.num_entries() == len(model)
+        assert matrix.support() == set(model)
+        for (source, target), expected in model.items():
+            assert matrix.get(source, target) == pytest.approx(expected)
+            assert matrix.contains(source, target)
+        # row views agree
+        for source in USERS:
+            expected_row = {
+                t: v for (s, t), v in model.items() if s == source
+            }
+            actual_row = matrix.row(source)
+            assert set(actual_row) == set(expected_row)
+            for target, v in expected_row.items():
+                assert actual_row[target] == pytest.approx(v)
+        # csr round trip preserves everything stored (zeros kept explicitly)
+        rebuilt = UserPairMatrix.from_csr(matrix.to_csr(), matrix.users, keep_zeros=True)
+        non_zero_support = {pair for pair, v in model.items() if v != 0.0}
+        assert non_zero_support <= rebuilt.support() <= set(model)
+
+    @given(operations)
+    @settings(max_examples=50, deadline=None)
+    def test_density_consistent(self, ops):
+        matrix = UserPairMatrix(USERS)
+        for op, i, j, value in ops:
+            if op == "set":
+                matrix.set(USERS[i], USERS[j], value)
+        assert matrix.density() == pytest.approx(matrix.num_entries() / (5 * 4))

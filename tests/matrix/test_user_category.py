@@ -1,0 +1,120 @@
+"""Tests for UserCategoryMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import LabelIndex, UserCategoryMatrix
+
+
+@pytest.fixture
+def matrix():
+    m = UserCategoryMatrix(["u1", "u2", "u3"], ["c1", "c2"])
+    m.set("u1", "c1", 0.9)
+    m.set("u1", "c2", 0.1)
+    m.set("u2", "c1", 0.5)
+    return m
+
+
+class TestConstruction:
+    def test_zero_initialised(self):
+        m = UserCategoryMatrix(["u1"], ["c1"])
+        assert m.get("u1", "c1") == 0.0
+
+    def test_values_array_accepted(self):
+        values = np.array([[0.1, 0.2], [0.3, 0.4]])
+        m = UserCategoryMatrix(["u1", "u2"], ["c1", "c2"], values)
+        assert m.get("u2", "c2") == pytest.approx(0.4)
+
+    def test_values_array_is_copied(self):
+        values = np.array([[0.1, 0.2], [0.3, 0.4]])
+        m = UserCategoryMatrix(["u1", "u2"], ["c1", "c2"], values)
+        values[0, 0] = 0.99
+        assert m.get("u1", "c1") == pytest.approx(0.1)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValidationError, match="shape"):
+            UserCategoryMatrix(["u1"], ["c1"], np.zeros((2, 2)))
+
+    def test_out_of_unit_interval_rejected(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            UserCategoryMatrix(["u1"], ["c1"], np.array([[1.5]]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            UserCategoryMatrix(["u1"], ["c1"], np.array([[np.nan]]))
+
+    def test_accepts_prebuilt_label_index(self):
+        users = LabelIndex(["u1"])
+        m = UserCategoryMatrix(users, ["c1"])
+        assert m.users is users
+
+
+class TestAccess:
+    def test_get_set(self, matrix):
+        assert matrix.get("u1", "c1") == pytest.approx(0.9)
+        assert matrix.get("u3", "c2") == 0.0
+
+    def test_set_rejects_out_of_range(self, matrix):
+        with pytest.raises(ValidationError):
+            matrix.set("u1", "c1", 1.2)
+
+    def test_unknown_labels(self, matrix):
+        with pytest.raises(KeyError):
+            matrix.get("ghost", "c1")
+        with pytest.raises(KeyError):
+            matrix.get("u1", "ghost")
+
+    def test_user_row_is_copy(self, matrix):
+        row = matrix.user_row("u1")
+        row[0] = 0.0
+        assert matrix.get("u1", "c1") == pytest.approx(0.9)
+
+    def test_category_column(self, matrix):
+        np.testing.assert_allclose(matrix.category_column("c1"), [0.9, 0.5, 0.0])
+
+    def test_to_array_copy(self, matrix):
+        arr = matrix.to_array()
+        arr[:] = 0
+        assert matrix.get("u1", "c1") == pytest.approx(0.9)
+
+    def test_values_view_read_only(self, matrix):
+        view = matrix.values_view()
+        with pytest.raises(ValueError):
+            view[0, 0] = 0.5
+
+    def test_shape(self, matrix):
+        assert matrix.shape == (3, 2)
+
+
+class TestHelpers:
+    def test_row_sums(self, matrix):
+        np.testing.assert_allclose(matrix.row_sums(), [1.0, 0.5, 0.0])
+
+    def test_nonzero_user_ids(self, matrix):
+        assert matrix.nonzero_user_ids() == ["u1", "u2"]
+
+    def test_ranking_descending(self, matrix):
+        assert matrix.ranking("c1") == ["u1", "u2", "u3"]
+
+    def test_ranking_ties_stable(self):
+        m = UserCategoryMatrix(["a", "b", "c"], ["c1"])
+        m.set("a", "c1", 0.5)
+        m.set("b", "c1", 0.5)
+        assert m.ranking("c1") == ["a", "b", "c"]
+
+    def test_ranking_restricted(self, matrix):
+        assert matrix.ranking("c1", restrict_to={"u2", "u3"}) == ["u2", "u3"]
+
+    def test_from_dict(self):
+        m = UserCategoryMatrix.from_dict(
+            {"u1": {"c1": 0.9}, "u2": {"c2": 0.3}}, ["u1", "u2"], ["c1", "c2"]
+        )
+        assert m.get("u1", "c1") == pytest.approx(0.9)
+        assert m.get("u2", "c1") == 0.0
+
+    def test_equality(self, matrix):
+        other = UserCategoryMatrix(["u1", "u2", "u3"], ["c1", "c2"], matrix.to_array())
+        assert matrix == other
+        other.set("u3", "c1", 0.1)
+        assert matrix != other

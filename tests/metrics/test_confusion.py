@@ -1,0 +1,80 @@
+"""Tests for the Table-4 metrics."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import UserPairMatrix
+from repro.metrics import validate_trust
+
+USERS = ["a", "b", "c", "d", "e"]
+
+
+def matrix(pairs):
+    m = UserPairMatrix(USERS)
+    for source, target in pairs:
+        m.set(source, target, 1.0)
+    return m
+
+
+@pytest.fixture
+def relations():
+    """R = 4 pairs; T = 3 pairs, 2 inside R; predictions vary per test."""
+    R = matrix([("a", "b"), ("a", "c"), ("b", "c"), ("b", "d")])
+    T = matrix([("a", "b"), ("b", "c"), ("c", "d")])  # (c,d) outside R
+    return R, T
+
+
+class TestValidateTrust:
+    def test_perfect_predictor(self, relations):
+        R, T = relations
+        predicted = matrix([("a", "b"), ("b", "c")])
+        m = validate_trust(predicted, R, T)
+        assert m.recall == 1.0
+        assert m.precision_in_r == 1.0
+        assert m.nontrust_as_trust_rate == 0.0
+        assert m.trust_in_r == 2
+        assert m.nontrust_in_r == 2
+
+    def test_all_predicted(self, relations):
+        R, T = relations
+        predicted = matrix(R.support())
+        m = validate_trust(predicted, R, T)
+        assert m.recall == 1.0
+        assert m.precision_in_r == pytest.approx(0.5)
+        assert m.nontrust_as_trust_rate == 1.0
+
+    def test_nothing_predicted(self, relations):
+        R, T = relations
+        m = validate_trust(matrix([]), R, T)
+        assert m.recall == 0.0
+        assert m.precision_in_r == 0.0  # empty denominator -> 0
+        assert m.nontrust_as_trust_rate == 0.0
+
+    def test_partial_predictor(self, relations):
+        R, T = relations
+        predicted = matrix([("a", "b"), ("a", "c")])  # one TP, one FP
+        m = validate_trust(predicted, R, T)
+        assert m.recall == pytest.approx(0.5)
+        assert m.precision_in_r == pytest.approx(0.5)
+        assert m.nontrust_as_trust_rate == pytest.approx(0.5)
+        assert m.true_positives == 1
+        assert m.false_positives_in_r == 1
+
+    def test_predictions_outside_r_ignored(self, relations):
+        R, T = relations
+        predicted = matrix([("a", "b"), ("c", "d"), ("d", "e")])  # only (a,b) in R
+        m = validate_trust(predicted, R, T)
+        assert m.predicted_in_r == 1
+        assert m.recall == pytest.approx(0.5)
+        assert m.precision_in_r == 1.0
+
+    def test_trust_outside_r_not_in_recall_denominator(self, relations):
+        R, T = relations
+        # (c, d) is trusted but not in R: recall denominator must be 2, not 3
+        predicted = matrix([("a", "b"), ("b", "c")])
+        assert validate_trust(predicted, R, T).recall == 1.0
+
+    def test_axis_mismatch(self, relations):
+        R, T = relations
+        with pytest.raises(ValidationError):
+            validate_trust(UserPairMatrix(["a", "b"]), R, T)

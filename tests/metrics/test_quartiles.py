@@ -1,0 +1,114 @@
+"""Tests for the Table-2/3 quartile methodology."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import UserCategoryMatrix
+from repro.metrics import quartile_distribution
+
+
+def reputation_matrix(num_users=8):
+    """Users u0..u7 with reputation descending in user index for c0."""
+    users = [f"u{i}" for i in range(num_users)]
+    values = np.zeros((num_users, 2))
+    values[:, 0] = np.linspace(1.0, 0.1, num_users)
+    values[:, 1] = np.linspace(0.1, 1.0, num_users)
+    return UserCategoryMatrix(users, ["c0", "c1"], values)
+
+
+class TestQuartileDistribution:
+    def test_top_user_lands_in_q1(self):
+        report = quartile_distribution(
+            reputation_matrix(), ["u0"], {"c0": [f"u{i}" for i in range(8)]}
+        )
+        assert len(report.rows) == 1
+        assert report.rows[0].quartile_counts == (1, 0, 0, 0)
+
+    def test_bottom_user_lands_in_q4(self):
+        report = quartile_distribution(
+            reputation_matrix(), ["u7"], {"c0": [f"u{i}" for i in range(8)]}
+        )
+        assert report.rows[0].quartile_counts == (0, 0, 0, 1)
+
+    def test_quartiles_by_position(self):
+        # 8 users: positions 0-1 Q1, 2-3 Q2, 4-5 Q3, 6-7 Q4
+        report = quartile_distribution(
+            reputation_matrix(),
+            [f"u{i}" for i in range(8)],
+            {"c0": [f"u{i}" for i in range(8)]},
+        )
+        assert report.rows[0].quartile_counts == (2, 2, 2, 2)
+
+    def test_expert_absent_from_category_excluded(self):
+        report = quartile_distribution(
+            reputation_matrix(), ["u0", "ghost-user"], {"c0": [f"u{i}" for i in range(8)]}
+        )
+        assert report.rows[0].num_experts == 1
+
+    def test_category_without_experts_skipped(self):
+        report = quartile_distribution(
+            reputation_matrix(),
+            ["u0"],
+            {"c0": [f"u{i}" for i in range(8)], "c1": ["u5", "u6"]},
+        )
+        assert [row.category_id for row in report.rows] == ["c0"]
+
+    def test_ranking_differs_per_category(self):
+        # in c1 reputations are reversed: u7 is the top user
+        report = quartile_distribution(
+            reputation_matrix(), ["u7"], {"c1": [f"u{i}" for i in range(8)]}
+        )
+        assert report.rows[0].quartile_counts == (1, 0, 0, 0)
+
+    def test_overall_aggregation(self):
+        report = quartile_distribution(
+            reputation_matrix(),
+            ["u0", "u7"],
+            {"c0": [f"u{i}" for i in range(8)], "c1": [f"u{i}" for i in range(8)]},
+        )
+        assert report.total_experts == 4
+        assert report.overall_quartiles == (2, 0, 0, 2)
+        assert report.overall_q1_fraction == pytest.approx(0.5)
+
+    def test_min_activity_filter(self):
+        counts = {"c0": {"u0": 1, "u1": 10}}
+        report = quartile_distribution(
+            reputation_matrix(),
+            ["u0", "u1"],
+            {"c0": [f"u{i}" for i in range(8)]},
+            min_activity_users=counts,
+            min_activity=5,
+        )
+        assert report.rows[0].num_experts == 1  # u0 filtered out
+
+    def test_min_activity_validation(self):
+        with pytest.raises(ValidationError):
+            quartile_distribution(reputation_matrix(), [], {}, min_activity=0)
+
+    def test_category_names_applied(self):
+        report = quartile_distribution(
+            reputation_matrix(),
+            ["u0"],
+            {"c0": [f"u{i}" for i in range(8)]},
+            category_names={"c0": "Dramas"},
+        )
+        assert report.rows[0].category_name == "Dramas"
+
+    def test_duplicate_experts_counted_once(self):
+        report = quartile_distribution(
+            reputation_matrix(), ["u0", "u0"], {"c0": [f"u{i}" for i in range(8)]}
+        )
+        assert report.rows[0].num_experts == 1
+
+    def test_small_population_quartiles(self):
+        # 2 active users: top -> Q1, bottom -> Q3 (position 1 of 2 -> 4*1//2 = 2)
+        report = quartile_distribution(
+            reputation_matrix(), ["u0", "u1"], {"c0": ["u0", "u1"]}
+        )
+        assert report.rows[0].quartile_counts == (1, 0, 1, 0)
+
+    def test_q1_fraction_empty_report(self):
+        report = quartile_distribution(reputation_matrix(), [], {"c0": ["u0"]})
+        assert report.overall_q1_fraction == 0.0
+        assert report.rows == ()

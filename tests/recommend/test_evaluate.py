@@ -1,0 +1,52 @@
+"""Tests for recommendation evaluation on held-out ratings."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datasets import CommunityProfile, generate_community
+from repro.datasets.splits import holdout_ratings
+from repro.experiments import run_pipeline
+from repro.recommend import TrustAwareRecommender, evaluate_predictions
+
+
+@pytest.fixture(scope="module")
+def split_setup():
+    profile = CommunityProfile(
+        num_users=150, category_names=("a", "b", "c"), objects_per_category=40,
+        num_advisors=6, num_top_reviewers=8,
+    )
+    dataset = generate_community(profile, seed=19)
+    train, held_out = holdout_ratings(dataset.community, 0.2, seed=1)
+    artifacts = run_pipeline(community=train)
+    return TrustAwareRecommender(artifacts), held_out
+
+
+class TestEvaluatePredictions:
+    def test_report_counts(self, split_setup):
+        recommender, held_out = split_setup
+        report = evaluate_predictions(recommender, held_out)
+        assert report.count == len(held_out)
+
+    def test_errors_bounded(self, split_setup):
+        recommender, held_out = split_setup
+        report = evaluate_predictions(recommender, held_out)
+        # ratings live in [0.2, 1.0]: MAE can never exceed 0.8
+        for value in (
+            report.model_mae,
+            report.global_mean_mae,
+            report.writer_mean_mae,
+        ):
+            assert 0.0 <= value <= 0.8
+        assert report.model_rmse >= report.model_mae
+
+    def test_model_beats_global_mean(self, split_setup):
+        """Trust/quality-aware predictions must beat a constant predictor."""
+        recommender, held_out = split_setup
+        report = evaluate_predictions(recommender, held_out)
+        assert report.beats_global_mean
+        assert report.model_rmse < report.global_mean_rmse
+
+    def test_empty_holdout_rejected(self, split_setup):
+        recommender, _ = split_setup
+        with pytest.raises(ValidationError):
+            evaluate_predictions(recommender, [])

@@ -1,0 +1,129 @@
+"""Tests for the trust-aware recommender."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.experiments import run_pipeline
+from repro.recommend import TrustAwareRecommender
+
+
+@pytest.fixture(scope="module")
+def recommender(small_recommend_artifacts):
+    return TrustAwareRecommender(small_recommend_artifacts)
+
+
+@pytest.fixture(scope="module")
+def small_recommend_artifacts():
+    from repro.datasets import CommunityProfile, generate_community
+
+    profile = CommunityProfile(
+        num_users=120, category_names=("a", "b", "c"), objects_per_category=30,
+        num_advisors=6, num_top_reviewers=8,
+    )
+    return run_pipeline(dataset=generate_community(profile, seed=17))
+
+
+class TestScoring:
+    def test_score_in_unit_interval(self, recommender, small_recommend_artifacts):
+        community = small_recommend_artifacts.community
+        user = community.user_ids()[0]
+        for review in list(community.iter_reviews())[:20]:
+            if review.writer_id == user:
+                continue
+            assert 0.0 <= recommender.score(user, review.review_id) <= 1.0
+
+    def test_trust_gates_score(self, recommender, small_recommend_artifacts):
+        """Same review, two readers: the one with higher derived trust in
+        the writer must score the review at least as high."""
+        community = small_recommend_artifacts.community
+        derived = small_recommend_artifacts.derived
+        checked = 0
+        for review in list(community.iter_reviews())[:50]:
+            writer = review.writer_id
+            readers = [u for u in community.user_ids()[:40] if u != writer]
+            readers.sort(key=lambda u: derived.get(u, writer))
+            low, high = readers[0], readers[-1]
+            if derived.get(high, writer) > derived.get(low, writer):
+                assert recommender.score(high, review.review_id) > recommender.score(
+                    low, review.review_id
+                )
+                checked += 1
+        assert checked > 5
+
+    def test_predict_rating_bounds(self, recommender, small_recommend_artifacts):
+        community = small_recommend_artifacts.community
+        user = community.user_ids()[1]
+        for review in list(community.iter_reviews())[:20]:
+            prediction = recommender.predict_rating(user, review.review_id)
+            assert 0.0 <= prediction <= 1.0
+
+    def test_unknown_user_rejected(self, recommender, small_recommend_artifacts):
+        review = next(iter(small_recommend_artifacts.community.iter_reviews()))
+        with pytest.raises(ValidationError):
+            recommender.predict_rating("ghost", review.review_id)
+
+    def test_blend_validation(self, small_recommend_artifacts):
+        with pytest.raises(ValidationError):
+            TrustAwareRecommender(small_recommend_artifacts, blend=1.5)
+
+    def test_blend_one_is_pure_quality(self, small_recommend_artifacts):
+        pure = TrustAwareRecommender(small_recommend_artifacts, blend=1.0)
+        community = small_recommend_artifacts.community
+        user = community.user_ids()[0]
+        for review in list(community.iter_reviews())[:10]:
+            assert pure.score(user, review.review_id) == pytest.approx(
+                pure.review_quality(review.review_id)
+            )
+
+
+class TestRecommend:
+    def test_returns_k_sorted(self, recommender, small_recommend_artifacts):
+        user = small_recommend_artifacts.community.user_ids()[0]
+        recs = recommender.recommend(user, k=5)
+        assert len(recs) == 5
+        scores = [rec.score for rec in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_own_reviews_excluded(self, recommender, small_recommend_artifacts):
+        community = small_recommend_artifacts.community
+        writer = next(iter(community.iter_reviews())).writer_id
+        recs = recommender.recommend(writer, k=50)
+        assert all(rec.writer_id != writer for rec in recs)
+
+    def test_rated_reviews_excluded_by_default(
+        self, recommender, small_recommend_artifacts
+    ):
+        community = small_recommend_artifacts.community
+        user = next(
+            u for u in community.user_ids() if community.ratings_by_rater(u)
+        )
+        rated = {rid for rid, _ in community.ratings_by_rater(user)}
+        recs = recommender.recommend(user, k=100)
+        assert all(rec.review_id not in rated for rec in recs)
+
+    def test_rated_reviews_included_on_request(
+        self, recommender, small_recommend_artifacts
+    ):
+        community = small_recommend_artifacts.community
+        user = max(
+            community.user_ids(), key=lambda u: len(community.ratings_by_rater(u))
+        )
+        with_rated = recommender.recommend(user, k=500, exclude_rated=False)
+        without = recommender.recommend(user, k=500)
+        assert len(with_rated) > len(without)
+
+    def test_category_filter(self, recommender, small_recommend_artifacts):
+        community = small_recommend_artifacts.community
+        user = community.user_ids()[0]
+        category = community.category_ids()[0]
+        recs = recommender.recommend(user, category_id=category, k=10)
+        assert all(rec.category_id == category for rec in recs)
+
+    def test_k_validation(self, recommender, small_recommend_artifacts):
+        user = small_recommend_artifacts.community.user_ids()[0]
+        with pytest.raises(ValidationError):
+            recommender.recommend(user, k=0)
+
+    def test_unknown_user(self, recommender):
+        with pytest.raises(ValidationError):
+            recommender.recommend("ghost")

@@ -1,0 +1,52 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.reporting import format_float, format_percent, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0] == "a  | b"
+        assert lines[1] == "---+---"
+        assert lines[2] == "1  | x"
+        assert lines[3] == "22 | yy"
+
+    def test_title(self):
+        text = render_table(["col"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_floats_formatted(self):
+        text = render_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_wide_cells_grow_column(self):
+        text = render_table(["v"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestFormatters:
+    def test_format_float(self):
+        assert format_float(0.8571) == "0.857"
+        assert format_float(0.8571, 1) == "0.9"
+
+    def test_format_percent(self):
+        assert format_percent(0.984) == "98.4%"
+        assert format_percent(1.0, 0) == "100%"

@@ -1,0 +1,67 @@
+"""Tests for baseline reputation models."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.reputation.baselines import (
+    BASELINE_KINDS,
+    baseline_expertise,
+    baseline_rater_reputation,
+)
+
+
+class TestMeanReceived:
+    def test_writer_mean_of_received_ratings(self, two_category_community):
+        matrix = baseline_expertise(two_category_community, "mean_received")
+        # alice's movie reviews received 1.0, 0.8 (ra1) and 0.8 (ra2)
+        assert matrix.get("alice", "movies") == pytest.approx((1.0 + 0.8 + 0.8) / 3)
+        assert matrix.get("bob", "movies") == pytest.approx(0.4)
+        assert matrix.get("alice", "books") == 0.0
+
+    def test_rater_one_minus_mad(self, two_category_community):
+        matrix = baseline_rater_reputation(two_category_community, "mean_received")
+        # books: rc1 quality = mean(0.6, 0.6) = 0.6; both raters deviate 0
+        assert matrix.get("alice", "books") == pytest.approx(1.0)
+        assert matrix.get("dave", "books") == pytest.approx(1.0)
+        assert matrix.get("alice", "movies") == 0.0
+
+    def test_values_in_unit_interval(self, two_category_community):
+        for matrix in (
+            baseline_expertise(two_category_community),
+            baseline_rater_reputation(two_category_community),
+        ):
+            values = matrix.to_array()
+            assert values.min() >= 0.0
+            assert values.max() <= 1.0
+
+
+class TestActivity:
+    def test_most_active_user_gets_one(self, two_category_community):
+        matrix = baseline_expertise(two_category_community, "activity")
+        # alice wrote 2 movie reviews (max); bob wrote 1
+        assert matrix.get("alice", "movies") == pytest.approx(1.0)
+        assert 0.0 < matrix.get("bob", "movies") < 1.0
+
+    def test_rater_activity(self, two_category_community):
+        matrix = baseline_rater_reputation(two_category_community, "activity")
+        # movies raters: bob 2, dave 2 -> both at the max
+        assert matrix.get("bob", "movies") == pytest.approx(1.0)
+        assert matrix.get("dave", "movies") == pytest.approx(1.0)
+        assert matrix.get("alice", "movies") == 0.0
+
+    def test_no_quality_signal(self, two_category_community):
+        """Activity reputation must ignore rating values entirely."""
+        matrix = baseline_expertise(two_category_community, "activity")
+        # bob's single review was rated 0.4 but he still scores on volume
+        assert matrix.get("bob", "movies") > 0.0
+
+
+class TestValidation:
+    def test_kinds(self):
+        assert set(BASELINE_KINDS) == {"mean_received", "activity"}
+
+    def test_unknown_kind(self, two_category_community):
+        with pytest.raises(ValidationError):
+            baseline_expertise(two_category_community, "oracle")
+        with pytest.raises(ValidationError):
+            baseline_rater_reputation(two_category_community, "oracle")

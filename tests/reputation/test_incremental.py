@@ -1,0 +1,104 @@
+"""Tests for incremental expertise maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.community import Review, ReviewRating, ReviewedObject
+from repro.reputation import (
+    ExpertiseEstimator,
+    IncrementalExpertise,
+    solve_category,
+)
+
+
+def results_equal(a, b, tol=1e-9):
+    return np.allclose(a.expertise.to_array(), b.expertise.to_array(), atol=tol) and (
+        np.allclose(a.rater_reputation.to_array(), b.rater_reputation.to_array(), atol=tol)
+    )
+
+
+class TestWarmStart:
+    def test_warm_start_reaches_same_fixed_point(self):
+        triples = [
+            ("u1", "r1", 1.0), ("u2", "r1", 0.8), ("u1", "r2", 0.6),
+            ("u3", "r2", 0.2), ("u2", "r2", 0.6),
+        ]
+        cold = solve_category(triples)
+        warm = solve_category(triples, warm_start=cold.rater_reputation)
+        for rater, rep in cold.rater_reputation.items():
+            assert warm.rater_reputation[rater] == pytest.approx(rep, abs=1e-7)
+
+    def test_warm_start_converges_faster(self):
+        triples = [
+            (f"u{i}", f"r{j}", [0.2, 0.6, 1.0][(i + j) % 3])
+            for i in range(6)
+            for j in range(5)
+        ]
+        cold = solve_category(triples)
+        warm = solve_category(triples, warm_start=cold.rater_reputation)
+        assert warm.iterations <= cold.iterations
+
+    def test_warm_start_values_clipped(self):
+        result = solve_category([("u1", "r1", 0.8)], warm_start={"u1": 5.0})
+        assert result.rater_reputation["u1"] == pytest.approx(0.5)
+
+    def test_unknown_raters_in_warm_start_ignored(self):
+        result = solve_category([("u1", "r1", 0.8)], warm_start={"ghost": 0.1})
+        assert result.rater_reputation["u1"] == pytest.approx(0.5)
+
+
+class TestIncrementalExpertise:
+    def test_initial_fit_matches_estimator(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        full = ExpertiseEstimator().fit(two_category_community)
+        assert results_equal(tracker.fit(), full)
+
+    def test_refresh_after_new_rating_exact(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        tracker.fit()
+
+        two_category_community.add_rating(ReviewRating("carol", "ra1", 0.6))
+        tracker.mark_dirty("movies")
+        incremental = tracker.refresh()
+        full = ExpertiseEstimator().fit(two_category_community)
+        assert results_equal(incremental, full)
+
+    def test_only_dirty_categories_resolved(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        tracker.fit()
+        before_books = tracker.last_iterations("books")
+
+        two_category_community.add_rating(ReviewRating("carol", "ra1", 0.6))
+        tracker.mark_dirty("movies")
+        tracker.refresh()
+        # books was not recomputed: same fixed-point object statistics
+        assert tracker.last_iterations("books") == before_books
+        assert tracker.dirty_categories == set()
+
+    def test_new_review_refresh(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        tracker.fit()
+        two_category_community.add_object(ReviewedObject("m5", "movies"))
+        two_category_community.add_review(Review("rb9", "bob", "m5"))
+        two_category_community.add_rating(ReviewRating("dave", "rb9", 1.0))
+        tracker.mark_dirty("movies")
+        assert results_equal(
+            tracker.refresh(), ExpertiseEstimator().fit(two_category_community)
+        )
+
+    def test_mark_dirty_unknown_category(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        with pytest.raises(ValidationError):
+            tracker.mark_dirty("ghost")
+
+    def test_last_iterations_before_solve(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        with pytest.raises(ValidationError):
+            tracker.last_iterations("movies")
+
+    def test_mark_all_dirty(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        tracker.fit()
+        tracker.mark_all_dirty()
+        assert tracker.dirty_categories == {"movies", "books"}

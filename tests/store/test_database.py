@@ -1,0 +1,137 @@
+"""Tests for Database: FK enforcement and cross-table integrity."""
+
+import pytest
+
+from repro.common.errors import IntegrityError, ValidationError
+from repro.store import Column, Database, ForeignKey, Schema
+
+
+@pytest.fixture
+def db():
+    db = Database("test")
+    db.create_table(
+        Schema(
+            name="users",
+            columns=[Column("user_id", str)],
+            primary_key=("user_id",),
+        )
+    )
+    db.create_table(
+        Schema(
+            name="reviews",
+            columns=[Column("review_id", str), Column("writer_id", str)],
+            primary_key=("review_id",),
+            foreign_keys=(ForeignKey("writer_id", "users"),),
+        )
+    )
+    return db
+
+
+class TestTableManagement:
+    def test_create_and_fetch(self, db):
+        assert db.table("users").name == "users"
+        assert db.table_names == ("users", "reviews")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(ValidationError, match="already exists"):
+            db.create_table(
+                Schema(name="users", columns=[Column("user_id", str)], primary_key=("user_id",))
+            )
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(ValidationError, match="no table"):
+            db.table("ghost")
+
+    def test_fk_to_unknown_table_rejected_at_creation(self, db):
+        with pytest.raises(ValidationError, match="unknown"):
+            db.create_table(
+                Schema(
+                    name="bad",
+                    columns=[Column("x", str)],
+                    primary_key=("x",),
+                    foreign_keys=(ForeignKey("x", "ghost"),),
+                )
+            )
+
+    def test_fk_to_composite_pk_rejected(self, db):
+        db.create_table(
+            Schema(
+                name="pairs",
+                columns=[Column("a", str), Column("b", str)],
+                primary_key=("a", "b"),
+            )
+        )
+        with pytest.raises(ValidationError, match="single-column"):
+            db.create_table(
+                Schema(
+                    name="bad",
+                    columns=[Column("x", str)],
+                    primary_key=("x",),
+                    foreign_keys=(ForeignKey("x", "pairs"),),
+                )
+            )
+
+    def test_contains(self, db):
+        assert "users" in db
+        assert "ghost" not in db
+
+
+class TestForeignKeyEnforcement:
+    def test_valid_reference_accepted(self, db):
+        db.insert("users", {"user_id": "u1"})
+        db.insert("reviews", {"review_id": "r1", "writer_id": "u1"})
+        assert db.table("reviews").get("r1")["writer_id"] == "u1"
+
+    def test_dangling_reference_rejected(self, db):
+        with pytest.raises(IntegrityError, match="does not reference"):
+            db.insert("reviews", {"review_id": "r1", "writer_id": "ghost"})
+
+    def test_failed_fk_insert_leaves_table_unchanged(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("reviews", {"review_id": "r1", "writer_id": "ghost"})
+        assert len(db.table("reviews")) == 0
+
+    def test_nullable_fk_column_accepts_none(self):
+        db = Database("t")
+        db.create_table(
+            Schema(name="users", columns=[Column("user_id", str)], primary_key=("user_id",))
+        )
+        db.create_table(
+            Schema(
+                name="posts",
+                columns=[Column("post_id", str), Column("editor_id", str, nullable=True)],
+                primary_key=("post_id",),
+                foreign_keys=(ForeignKey("editor_id", "users"),),
+            )
+        )
+        db.insert("posts", {"post_id": "p1", "editor_id": None})
+        assert db.table("posts").get("p1")["editor_id"] is None
+
+    def test_insert_many_stops_at_first_violation(self, db):
+        db.insert("users", {"user_id": "u1"})
+        rows = [
+            {"review_id": "r1", "writer_id": "u1"},
+            {"review_id": "r2", "writer_id": "ghost"},
+            {"review_id": "r3", "writer_id": "u1"},
+        ]
+        with pytest.raises(IntegrityError):
+            db.insert_many("reviews", rows)
+        assert len(db.table("reviews")) == 1
+
+
+class TestVerifyIntegrity:
+    def test_clean_database_reports_nothing(self, db):
+        db.insert("users", {"user_id": "u1"})
+        db.insert("reviews", {"review_id": "r1", "writer_id": "u1"})
+        assert db.verify_integrity() == []
+
+    def test_bypassed_write_is_caught(self, db):
+        # writes through Table.insert skip FK checks; verify_integrity finds them
+        db.table("reviews").insert({"review_id": "r1", "writer_id": "ghost"})
+        problems = db.verify_integrity()
+        assert len(problems) == 1
+        assert "ghost" in problems[0]
+
+    def test_stats(self, db):
+        db.insert("users", {"user_id": "u1"})
+        assert db.stats() == {"users": 1, "reviews": 0}

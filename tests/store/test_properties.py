@@ -1,0 +1,81 @@
+"""Model-based property tests: the Table against a plain-dict reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.store import Column, Schema, Table
+
+
+def make_table():
+    return Table(
+        Schema(
+            name="kv",
+            columns=[Column("key", str), Column("group", str), Column("value", float)],
+            primary_key=("key",),
+        )
+    )
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "overwrite"]),
+        st.integers(0, 15),           # key space
+        st.sampled_from("abc"),       # group
+        st.floats(0, 1, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+class TestTableAgainstDictModel:
+    @given(operations)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_model(self, ops):
+        table = make_table()
+        table.create_index("group")
+        model: dict[str, dict] = {}
+
+        for op, key_num, group, value in ops:
+            key = f"k{key_num}"
+            row = {"key": key, "group": group, "value": value}
+            if op == "insert":
+                if key in model:
+                    try:
+                        table.insert(row)
+                        raise AssertionError("duplicate PK must raise")
+                    except IntegrityError:
+                        pass
+                else:
+                    table.insert(row)
+                    model[key] = row
+            elif op == "delete":
+                if key in model:
+                    table.delete(key)
+                    del model[key]
+                else:
+                    try:
+                        table.delete(key)
+                        raise AssertionError("deleting absent PK must raise")
+                    except IntegrityError:
+                        pass
+            else:  # overwrite = delete + insert when present
+                if key in model:
+                    table.delete(key)
+                    table.insert(row)
+                    model[key] = row
+
+        # full-state equivalence
+        assert len(table) == len(model)
+        for key, row in model.items():
+            assert table.get(key) == row
+        # indexed lookups agree with brute force over the model
+        for group in "abc":
+            expected = sorted(k for k, r in model.items() if r["group"] == group)
+            actual = sorted(r["key"] for r in table.find(group=group))
+            assert actual == expected
+        # group counts agree
+        counts = table.group_count("group")
+        for group in "abc":
+            expected_count = sum(1 for r in model.values() if r["group"] == group)
+            assert counts.get((group,), 0) == expected_count

@@ -1,0 +1,116 @@
+"""Tests for the lazy Query layer."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.store import Column, Query, Schema, Table
+
+
+@pytest.fixture
+def reviews():
+    table = Table(
+        Schema(
+            name="reviews",
+            columns=[
+                Column("review_id", str),
+                Column("writer_id", str),
+                Column("category_id", str),
+                Column("quality", float),
+            ],
+            primary_key=("review_id",),
+        )
+    )
+    rows = [
+        ("r1", "u1", "c1", 0.9),
+        ("r2", "u1", "c2", 0.4),
+        ("r3", "u2", "c1", 0.7),
+        ("r4", "u3", "c1", 0.2),
+        ("r5", "u2", "c2", 0.6),
+    ]
+    for review_id, writer, category, quality in rows:
+        table.insert(
+            {
+                "review_id": review_id,
+                "writer_id": writer,
+                "category_id": category,
+                "quality": quality,
+            }
+        )
+    return table
+
+
+class TestWhere:
+    def test_single_filter(self, reviews):
+        result = Query(reviews).where(category_id="c1").all()
+        assert {r["review_id"] for r in result} == {"r1", "r3", "r4"}
+
+    def test_chained_filters_and(self, reviews):
+        result = Query(reviews).where(category_id="c1").where(writer_id="u2").all()
+        assert [r["review_id"] for r in result] == ["r3"]
+
+    def test_where_unknown_column(self, reviews):
+        with pytest.raises(ValidationError):
+            Query(reviews).where(ghost=1)
+
+    def test_builder_does_not_mutate_parent(self, reviews):
+        base = Query(reviews).where(category_id="c1")
+        _ = base.where(writer_id="u2")
+        assert len(base.all()) == 3
+
+
+class TestFilterOrderLimit:
+    def test_predicate_filter(self, reviews):
+        result = Query(reviews).filter(lambda r: r["quality"] >= 0.6).all()
+        assert {r["review_id"] for r in result} == {"r1", "r3", "r5"}
+
+    def test_order_by_ascending(self, reviews):
+        result = Query(reviews).order_by("quality").values("review_id")
+        assert result == ["r4", "r2", "r5", "r3", "r1"]
+
+    def test_order_by_descending(self, reviews):
+        result = Query(reviews).order_by("quality", descending=True).values("review_id")
+        assert result == ["r1", "r3", "r5", "r2", "r4"]
+
+    def test_limit(self, reviews):
+        result = Query(reviews).order_by("quality", descending=True).limit(2).all()
+        assert [r["review_id"] for r in result] == ["r1", "r3"]
+
+    def test_limit_zero(self, reviews):
+        assert Query(reviews).limit(0).all() == []
+
+    def test_negative_limit_rejected(self, reviews):
+        with pytest.raises(ValidationError):
+            Query(reviews).limit(-1)
+
+
+class TestTerminals:
+    def test_first(self, reviews):
+        row = Query(reviews).where(writer_id="u2").order_by("quality").first()
+        assert row["review_id"] == "r5"
+
+    def test_first_empty(self, reviews):
+        assert Query(reviews).where(writer_id="ghost-free").first() is None
+
+    def test_count_fast_path_matches_slow_path(self, reviews):
+        fast = Query(reviews).where(category_id="c1").count()
+        slow = Query(reviews).where(category_id="c1").filter(lambda r: True).count()
+        assert fast == slow == 3
+
+    def test_count_respects_limit(self, reviews):
+        assert Query(reviews).limit(2).count() == 2
+
+    def test_select_projection(self, reviews):
+        rows = Query(reviews).where(writer_id="u1").select("review_id").all()
+        assert all(set(r) == {"review_id"} for r in rows)
+
+    def test_select_unknown_column(self, reviews):
+        with pytest.raises(ValidationError):
+            Query(reviews).select("ghost")
+
+    def test_values(self, reviews):
+        values = Query(reviews).where(category_id="c2").order_by("quality").values("quality")
+        assert values == [0.4, 0.6]
+
+    def test_values_ignores_projection(self, reviews):
+        q = Query(reviews).select("review_id")
+        assert sorted(q.values("writer_id")) == ["u1", "u1", "u2", "u2", "u3"]

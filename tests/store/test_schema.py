@@ -1,0 +1,122 @@
+"""Tests for table schemas."""
+
+import pytest
+
+from repro.common.errors import SchemaError, ValidationError
+from repro.store import Column, ForeignKey, Schema
+
+
+def make_schema(**overrides):
+    defaults = dict(
+        name="reviews",
+        columns=[
+            Column("review_id", str),
+            Column("writer_id", str),
+            Column("score", float, check=lambda v: 0 <= v <= 1),
+            Column("note", str, nullable=True),
+        ],
+        primary_key=("review_id",),
+    )
+    defaults.update(overrides)
+    return Schema(**defaults)
+
+
+class TestColumn:
+    def test_validate_accepts_correct_type(self):
+        assert Column("x", int).validate(3) == 3
+
+    def test_float_column_coerces_int(self):
+        value = Column("x", float).validate(2)
+        assert value == 2.0
+        assert isinstance(value, float)
+
+    def test_rejects_bool_for_numeric_columns(self):
+        with pytest.raises(SchemaError, match="bool"):
+            Column("x", int).validate(True)
+        with pytest.raises(SchemaError, match="bool"):
+            Column("x", float).validate(False)
+
+    def test_nullable_accepts_none(self):
+        assert Column("x", str, nullable=True).validate(None) is None
+
+    def test_non_nullable_rejects_none(self):
+        with pytest.raises(SchemaError, match="not nullable"):
+            Column("x", str).validate(None)
+
+    def test_check_predicate_enforced(self):
+        col = Column("score", float, check=lambda v: 0 <= v <= 1)
+        assert col.validate(0.5) == 0.5
+        with pytest.raises(SchemaError, match="failed its check"):
+            col.validate(1.5)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Column("not a name", int)
+
+
+class TestSchemaConstruction:
+    def test_valid_schema_builds(self):
+        schema = make_schema()
+        assert schema.column_names == ("review_id", "writer_id", "score", "note")
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            make_schema(columns=[Column("a", int), Column("a", str)], primary_key=("a",))
+
+    def test_primary_key_required(self):
+        with pytest.raises(ValidationError, match="primary key"):
+            make_schema(primary_key=())
+
+    def test_primary_key_must_be_declared_column(self):
+        with pytest.raises(ValidationError, match="ghost"):
+            make_schema(primary_key=("ghost",))
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(ValidationError, match="ghost"):
+            make_schema(foreign_keys=(ForeignKey("ghost", "users"),))
+
+    def test_unique_columns_must_exist(self):
+        with pytest.raises(ValidationError, match="ghost"):
+            make_schema(unique=(("ghost",),))
+
+    def test_bad_table_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_schema(name="no good")
+
+
+class TestRowValidation:
+    def test_valid_row_passes_and_is_copied(self):
+        schema = make_schema()
+        row = {"review_id": "r1", "writer_id": "u1", "score": 0.5, "note": None}
+        clean = schema.validate_row(row)
+        assert clean == row
+        assert clean is not row
+
+    def test_missing_column_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="missing column"):
+            schema.validate_row({"review_id": "r1", "writer_id": "u1", "score": 0.5})
+
+    def test_unknown_column_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="unknown columns"):
+            schema.validate_row(
+                {
+                    "review_id": "r1",
+                    "writer_id": "u1",
+                    "score": 0.5,
+                    "note": None,
+                    "extra": 1,
+                }
+            )
+
+    def test_pk_extraction(self):
+        schema = make_schema()
+        row = schema.validate_row(
+            {"review_id": "r9", "writer_id": "u1", "score": 0.1, "note": None}
+        )
+        assert schema.pk_of(row) == ("r9",)
+
+    def test_column_lookup_unknown_name(self):
+        with pytest.raises(ValidationError, match="no column"):
+            make_schema().column("nope")

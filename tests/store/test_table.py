@@ -1,0 +1,199 @@
+"""Tests for Table: CRUD, indexes, constraints, queries."""
+
+import pytest
+
+from repro.common.errors import IntegrityError, SchemaError, ValidationError
+from repro.store import Column, Schema, Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        Schema(
+            name="ratings",
+            columns=[
+                Column("rater_id", str),
+                Column("review_id", str),
+                Column("value", float),
+            ],
+            primary_key=("rater_id", "review_id"),
+        )
+    )
+
+
+def fill(table, rows):
+    for rater, review, value in rows:
+        table.insert({"rater_id": rater, "review_id": review, "value": value})
+
+
+class TestInsertAndGet:
+    def test_roundtrip(self, table):
+        table.insert({"rater_id": "u1", "review_id": "r1", "value": 0.8})
+        assert table.get("u1", "r1") == {"rater_id": "u1", "review_id": "r1", "value": 0.8}
+
+    def test_get_returns_copy(self, table):
+        table.insert({"rater_id": "u1", "review_id": "r1", "value": 0.8})
+        row = table.get("u1", "r1")
+        row["value"] = 99.0
+        assert table.get("u1", "r1")["value"] == 0.8
+
+    def test_duplicate_pk_rejected(self, table):
+        table.insert({"rater_id": "u1", "review_id": "r1", "value": 0.8})
+        with pytest.raises(IntegrityError, match="duplicate primary key"):
+            table.insert({"rater_id": "u1", "review_id": "r1", "value": 0.2})
+
+    def test_schema_violation_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"rater_id": "u1", "review_id": "r1", "value": "high"})
+
+    def test_maybe_get_absent_returns_none(self, table):
+        assert table.maybe_get("u1", "r1") is None
+
+    def test_get_absent_raises(self, table):
+        with pytest.raises(IntegrityError, match="no row"):
+            table.get("u1", "r1")
+
+    def test_contains(self, table):
+        table.insert({"rater_id": "u1", "review_id": "r1", "value": 0.8})
+        assert table.contains("u1", "r1")
+        assert not table.contains("u1", "r2")
+
+    def test_insert_many_counts(self, table):
+        n = table.insert_many(
+            {"rater_id": "u1", "review_id": f"r{i}", "value": 0.2} for i in range(5)
+        )
+        assert n == 5
+        assert len(table) == 5
+
+
+class TestDelete:
+    def test_delete_removes_row(self, table):
+        fill(table, [("u1", "r1", 0.8)])
+        table.delete("u1", "r1")
+        assert not table.contains("u1", "r1")
+        assert len(table) == 0
+
+    def test_delete_absent_raises(self, table):
+        with pytest.raises(IntegrityError):
+            table.delete("u1", "r1")
+
+    def test_delete_updates_indexes(self, table):
+        table.create_index("review_id")
+        fill(table, [("u1", "r1", 0.8), ("u2", "r1", 0.6)])
+        table.delete("u1", "r1")
+        assert [r["rater_id"] for r in table.find(review_id="r1")] == ["u2"]
+
+
+class TestFind:
+    def test_unindexed_scan(self, table):
+        fill(table, [("u1", "r1", 0.8), ("u1", "r2", 0.6), ("u2", "r1", 0.2)])
+        rows = table.find(rater_id="u1")
+        assert {r["review_id"] for r in rows} == {"r1", "r2"}
+
+    def test_indexed_lookup_matches_scan(self, table):
+        fill(table, [("u1", "r1", 0.8), ("u1", "r2", 0.6), ("u2", "r1", 0.2)])
+        scan = table.find(review_id="r1")
+        table.create_index("review_id")
+        indexed = table.find(review_id="r1")
+        assert sorted(r["rater_id"] for r in scan) == sorted(r["rater_id"] for r in indexed)
+
+    def test_index_covers_rows_inserted_after_creation(self, table):
+        table.create_index("review_id")
+        fill(table, [("u1", "r1", 0.8), ("u2", "r1", 0.4)])
+        assert len(table.find(review_id="r1")) == 2
+
+    def test_multi_column_indexed_find(self, table):
+        table.create_index("rater_id", "review_id")
+        fill(table, [("u1", "r1", 0.8), ("u1", "r2", 0.6)])
+        rows = table.find(rater_id="u1", review_id="r2")
+        assert [r["value"] for r in rows] == [0.6]
+
+    def test_find_empty_filter_returns_all(self, table):
+        fill(table, [("u1", "r1", 0.8), ("u2", "r2", 0.6)])
+        assert len(table.find()) == 2
+
+    def test_find_unknown_column_raises(self, table):
+        with pytest.raises(ValidationError):
+            table.find(ghost=1)
+
+    def test_find_returns_copies(self, table):
+        fill(table, [("u1", "r1", 0.8)])
+        table.find(rater_id="u1")[0]["value"] = 99.0
+        assert table.get("u1", "r1")["value"] == 0.8
+
+
+class TestCountDistinctGroup:
+    def test_count_all_and_filtered(self, table):
+        fill(table, [("u1", "r1", 0.8), ("u1", "r2", 0.6), ("u2", "r1", 0.2)])
+        assert table.count() == 3
+        assert table.count(rater_id="u1") == 2
+
+    def test_count_uses_index(self, table):
+        table.create_index("rater_id")
+        fill(table, [("u1", "r1", 0.8), ("u1", "r2", 0.6)])
+        assert table.count(rater_id="u1") == 2
+
+    def test_distinct_preserves_first_seen_order(self, table):
+        fill(table, [("u2", "r1", 0.8), ("u1", "r2", 0.6), ("u2", "r3", 0.2)])
+        assert table.distinct("rater_id") == ["u2", "u1"]
+
+    def test_group_count(self, table):
+        fill(table, [("u1", "r1", 0.8), ("u1", "r2", 0.6), ("u2", "r1", 0.2)])
+        assert table.group_count("rater_id") == {("u1",): 2, ("u2",): 1}
+
+    def test_aggregate(self, table):
+        fill(table, [("u1", "r1", 0.8), ("u1", "r2", 0.6)])
+        assert table.aggregate("value", sum, rater_id="u1") == pytest.approx(1.4)
+
+
+class TestUniqueConstraint:
+    @pytest.fixture
+    def reviews(self):
+        return Table(
+            Schema(
+                name="reviews",
+                columns=[
+                    Column("review_id", str),
+                    Column("writer_id", str),
+                    Column("object_id", str),
+                ],
+                primary_key=("review_id",),
+                unique=(("writer_id", "object_id"),),
+            )
+        )
+
+    def test_violation_rejected(self, reviews):
+        reviews.insert({"review_id": "r1", "writer_id": "u1", "object_id": "o1"})
+        with pytest.raises(IntegrityError, match="unique constraint"):
+            reviews.insert({"review_id": "r2", "writer_id": "u1", "object_id": "o1"})
+
+    def test_failed_insert_leaves_table_unchanged(self, reviews):
+        reviews.insert({"review_id": "r1", "writer_id": "u1", "object_id": "o1"})
+        with pytest.raises(IntegrityError):
+            reviews.insert({"review_id": "r2", "writer_id": "u1", "object_id": "o1"})
+        assert len(reviews) == 1
+        # and a subsequent legal insert still works
+        reviews.insert({"review_id": "r2", "writer_id": "u1", "object_id": "o2"})
+        assert len(reviews) == 2
+
+    def test_same_object_different_writer_allowed(self, reviews):
+        reviews.insert({"review_id": "r1", "writer_id": "u1", "object_id": "o1"})
+        reviews.insert({"review_id": "r2", "writer_id": "u2", "object_id": "o1"})
+        assert len(reviews) == 2
+
+
+class TestIndexManagement:
+    def test_create_index_requires_known_columns(self, table):
+        with pytest.raises(ValidationError):
+            table.create_index("ghost")
+
+    def test_create_index_twice_is_noop(self, table):
+        table.create_index("review_id")
+        fill(table, [("u1", "r1", 0.5)])
+        table.create_index("review_id")
+        assert len(table.find(review_id="r1")) == 1
+
+    def test_has_index(self, table):
+        assert not table.has_index("review_id")
+        table.create_index("review_id")
+        assert table.has_index("review_id")

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["--users", "150", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["table4"])
+        assert args.users == 1200
+        assert args.seed == 7
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_stats_synthetic(self, capsys):
+        assert main(["stats", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "Dataset statistics" in out
+        assert "trust density" in out
+
+    def test_generate_then_stats_dir(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "data")
+        assert main(["generate", *ARGS, "--out", out_dir]) == 0
+        assert main(["stats", "--dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "Dataset statistics" in out
+
+    def test_derive_writes_edges(self, tmp_path, capsys):
+        data_dir = str(tmp_path / "data")
+        out_file = str(tmp_path / "trust.txt")
+        main(["generate", *ARGS, "--out", data_dir])
+        assert main(["derive", "--dir", data_dir, "--out", out_file]) == 0
+        with open(out_file) as f:
+            lines = f.read().strip().splitlines()
+        assert len(lines) > 100
+        source, target, value = lines[0].split("|")
+        assert 0.0 < float(value) <= 1.0
+
+    def test_table4_command(self, capsys):
+        assert main(["table4", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "T-hat (our model)" in out
+
+    def test_fig3_command(self, capsys):
+        assert main(["fig3", *ARGS]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", *ARGS]) == 0
+        assert "Table 2" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Smoke tests keeping the example scripts honest.
+
+The quickstart (fast, deterministic) runs fully; the heavier examples are
+compiled and import-checked so signature drift in the public API breaks
+the build rather than the README.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "movie_community.py",
+            "ecommerce_cold_start.py",
+            "trust_propagation.py",
+            "review_recommendation.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_quickstart_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "dan's most trusted reviewer is ana" in result.stdout
+
+    def test_trust_propagation_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "trust_propagation.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "EigenTrust global top-5" in result.stdout

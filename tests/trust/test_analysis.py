@@ -1,0 +1,76 @@
+"""Tests for web-of-trust structural analysis."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import UserPairMatrix
+from repro.trust.analysis import coverage_comparison, web_analysis
+
+
+def web(users, pairs):
+    m = UserPairMatrix(users)
+    for source, target in pairs:
+        m.set(source, target, 1.0)
+    return m
+
+
+class TestWebAnalysis:
+    def test_empty_axis(self):
+        result = web_analysis(web([], []))
+        assert result.num_users == 0
+        assert result.reachable_pair_fraction == 0.0
+
+    def test_chain_reachability(self):
+        # a->b->c: reachable ordered pairs = (a,b), (a,c), (b,c) of 6
+        result = web_analysis(web(["a", "b", "c"], [("a", "b"), ("b", "c")]))
+        assert result.reachable_pair_fraction == pytest.approx(0.5)
+        assert result.sources_fraction == pytest.approx(2 / 3)
+        # path lengths: 1, 2, 1 -> mean 4/3
+        assert result.mean_path_length == pytest.approx(4 / 3)
+
+    def test_full_cycle(self):
+        users = ["a", "b", "c"]
+        result = web_analysis(
+            web(users, [("a", "b"), ("b", "c"), ("c", "a")])
+        )
+        assert result.reachable_pair_fraction == pytest.approx(1.0)
+        assert result.largest_scc_fraction == pytest.approx(1.0)
+
+    def test_no_edges(self):
+        result = web_analysis(web(["a", "b"], []))
+        assert result.num_edges == 0
+        assert result.sources_fraction == 0.0
+        assert result.largest_scc_fraction == 0.0
+
+    def test_sampling_close_to_exact(self):
+        users = [f"u{i}" for i in range(40)]
+        pairs = [(f"u{i}", f"u{(i + 1) % 40}") for i in range(40)]  # ring
+        exact = web_analysis(web(users, pairs), samples=1000)
+        sampled = web_analysis(web(users, pairs), samples=10, seed=1)
+        # a directed ring reaches every ordered pair
+        assert exact.reachable_pair_fraction == pytest.approx(1.0)
+        # a ring is symmetric: any sample gives the exact value
+        assert sampled.reachable_pair_fraction == pytest.approx(
+            exact.reachable_pair_fraction
+        )
+
+    def test_samples_validation(self):
+        with pytest.raises(ValidationError):
+            web_analysis(web(["a"], []), samples=0)
+
+
+class TestCoverageComparison:
+    def test_denser_web_covers_more(self):
+        users = [f"u{i}" for i in range(12)]
+        sparse = web(users, [("u0", "u1"), ("u2", "u3")])
+        dense_pairs = [
+            (users[i], users[j]) for i in range(12) for j in range(12)
+            if i != j and (i + j) % 2 == 0
+        ]
+        dense = web(users, dense_pairs)
+        result = coverage_comparison(sparse, dense, samples=50)
+        assert (
+            result["derived"].reachable_pair_fraction
+            > result["explicit"].reachable_pair_fraction
+        )
+        assert result["derived"].sources_fraction > result["explicit"].sources_fraction

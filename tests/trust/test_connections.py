@@ -1,0 +1,64 @@
+"""Tests for the observed relations R, B and T."""
+
+import pytest
+
+from repro.community import Review, ReviewRating, ReviewedObject
+from repro.trust import (
+    baseline_matrix,
+    direct_connection_matrix,
+    ground_truth_matrix,
+)
+
+
+class TestDirectConnections:
+    def test_support_matches_rating_pairs(self, two_category_community):
+        R = direct_connection_matrix(two_category_community)
+        assert R.support() == {
+            ("bob", "alice"),
+            ("dave", "alice"),
+            ("dave", "bob"),
+            ("alice", "carol"),
+            ("dave", "carol"),
+        }
+
+    def test_counts_stored(self, two_category_community):
+        R = direct_connection_matrix(two_category_community)
+        assert R.get("bob", "alice") == 2.0  # bob rated ra1 and ra2
+        assert R.get("dave", "alice") == 1.0
+
+    def test_axis_covers_inactive_users(self, two_category_community):
+        R = direct_connection_matrix(two_category_community)
+        assert "eve" in R.users
+
+
+class TestBaseline:
+    def test_mean_rating_per_pair(self, two_category_community):
+        B = baseline_matrix(two_category_community)
+        assert B.get("bob", "alice") == pytest.approx((1.0 + 0.8) / 2)
+        assert B.get("dave", "bob") == pytest.approx(0.4)
+
+    def test_support_equals_direct_connections(self, two_category_community):
+        R = direct_connection_matrix(two_category_community)
+        B = baseline_matrix(two_category_community)
+        assert B.support() == R.support()
+
+    def test_updates_with_new_rating(self, two_category_community):
+        two_category_community.add_object(ReviewedObject("m9", "movies"))
+        two_category_community.add_review(Review("ra9", "alice", "m9"))
+        two_category_community.add_rating(ReviewRating("bob", "ra9", 0.2))
+        B = baseline_matrix(two_category_community)
+        assert B.get("bob", "alice") == pytest.approx((1.0 + 0.8 + 0.2) / 3)
+
+
+class TestGroundTruth:
+    def test_binary_entries(self, two_category_community):
+        T = ground_truth_matrix(two_category_community)
+        assert T.support() == {("bob", "alice"), ("dave", "alice"), ("alice", "carol")}
+        assert all(value == 1.0 for _, _, value in T.entries())
+
+    def test_shared_axis_enables_set_operations(self, two_category_community):
+        R = direct_connection_matrix(two_category_community)
+        T = ground_truth_matrix(two_category_community)
+        # all three explicit trust edges are also direct connections here
+        assert T.intersect_support(R) == T.support()
+        assert R.subtract_support(T) == {("dave", "bob"), ("dave", "carol")}

@@ -1,0 +1,53 @@
+"""Tests for matrix <-> networkx conversion."""
+
+import networkx as nx
+import pytest
+
+from repro.matrix import LabelIndex, UserPairMatrix
+from repro.trust import from_digraph, to_digraph
+
+
+@pytest.fixture
+def matrix():
+    m = UserPairMatrix(["a", "b", "c"])
+    m.set("a", "b", 0.8)
+    m.set("b", "c", 0.4)
+    return m
+
+
+class TestToDigraph:
+    def test_edges_and_weights(self, matrix):
+        g = to_digraph(matrix)
+        assert g.number_of_edges() == 2
+        assert g["a"]["b"]["trust"] == pytest.approx(0.8)
+
+    def test_isolated_nodes_kept(self, matrix):
+        g = to_digraph(matrix)
+        assert set(g.nodes) == {"a", "b", "c"}
+
+    def test_direction_preserved(self, matrix):
+        g = to_digraph(matrix)
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_custom_weight_key(self, matrix):
+        g = to_digraph(matrix, weight_key="w")
+        assert g["a"]["b"]["w"] == pytest.approx(0.8)
+
+
+class TestFromDigraph:
+    def test_roundtrip(self, matrix):
+        rebuilt = from_digraph(to_digraph(matrix), matrix.users)
+        assert rebuilt == matrix
+
+    def test_default_axis_from_nodes(self):
+        g = nx.DiGraph()
+        g.add_edge("x", "y", trust=0.5)
+        m = from_digraph(g)
+        assert m.get("x", "y") == pytest.approx(0.5)
+
+    def test_missing_weight_uses_default(self):
+        g = nx.DiGraph()
+        g.add_edge("x", "y")
+        m = from_digraph(g, LabelIndex(["x", "y"]), default_weight=0.25)
+        assert m.get("x", "y") == pytest.approx(0.25)
