@@ -5,10 +5,14 @@ regressions in the fixed-point solver, affiliation counting or the
 derivation product are caught.
 """
 
+import numpy as np
 import pytest
 
 from repro.affinity import AffinityEstimator
 from repro.datasets import CommunityProfile, generate_community
+from repro.matrix import UserPairMatrix
+from repro.perf import run_kernel_bench
+from repro.propagation import eigen_trust
 from repro.reputation import ExpertiseEstimator, solve_category
 from repro.trust import TrustDeriver, direct_connection_matrix
 
@@ -55,6 +59,41 @@ def test_perf_trust_derivation(perf_matrices, benchmark):
 def test_perf_direct_connections(perf_dataset, benchmark):
     matrix = benchmark(direct_connection_matrix, perf_dataset.community)
     assert matrix.num_entries() > 0
+
+
+def test_perf_propagation_eigentrust(perf_dataset, benchmark):
+    connections = direct_connection_matrix(perf_dataset.community)
+    connections.csr()  # warm the cache, as pipeline consumers would
+    scores = benchmark(eigen_trust, connections)
+    assert len(scores) == 400
+
+
+def test_perf_bulk_matrix_construction(benchmark):
+    rng = np.random.default_rng(3)
+    n, nnz = 1000, 50_000
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    values = rng.random(nnz)
+    users = [f"u{i}" for i in range(n)]
+
+    def build():
+        matrix = UserPairMatrix.from_arrays(users, rows, cols, values)
+        return matrix.to_csr()
+
+    csr = benchmark(build)
+    assert csr.nnz > 0
+
+
+def test_bench_emitter_quick_mode(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    document = run_kernel_bench(num_users=120, quick=True, out_path=str(out))
+    assert out.exists()
+    assert document["derive_matrices_identical"]
+    assert set(document["kernels"]) == {
+        "derive",
+        "step1_fit",
+        "propagation_eigentrust",
+    }
 
 
 def test_perf_generation_scales(benchmark):

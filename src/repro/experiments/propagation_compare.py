@@ -25,7 +25,6 @@ from repro.common.validation import require_positive
 from repro.experiments.pipeline import PipelineArtifacts
 from repro.propagation import appleseed, eigen_trust
 from repro.reporting import format_float, render_table
-from repro.trust import to_digraph
 
 __all__ = ["PropagationComparison", "run_propagation_comparison", "render_propagation_comparison"]
 
@@ -63,11 +62,13 @@ def run_propagation_comparison(
     require_positive("top_k", top_k)
     require_positive("num_sources", num_sources)
 
-    explicit_graph = to_digraph(artifacts.ground_truth)
-    derived_graph = to_digraph(artifacts.derived_binary)
+    # the propagation models consume the matrices' cached CSR directly --
+    # no digraph round-trip
+    explicit_web = artifacts.ground_truth
+    derived_web = artifacts.derived_binary
 
-    explicit_scores = eigen_trust(explicit_graph)
-    derived_scores = eigen_trust(derived_graph)
+    explicit_scores = eigen_trust(explicit_web)
+    derived_scores = eigen_trust(derived_web)
     users = list(artifacts.ground_truth.users)
     explicit_vector = np.array([explicit_scores.get(u, 0.0) for u in users])
     derived_vector = np.array([derived_scores.get(u, 0.0) for u in users])
@@ -89,8 +90,8 @@ def run_propagation_comparison(
     correlations = []
     overlaps = []
     for source in chosen:
-        explicit_ranks = appleseed(explicit_graph, source)
-        derived_ranks = appleseed(derived_graph, source)
+        explicit_ranks = appleseed(explicit_web, source)
+        derived_ranks = appleseed(derived_web, source)
         shared = sorted((set(explicit_ranks) | set(derived_ranks)) - {source})
         if len(shared) < 3:
             continue

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.common.errors import ValidationError
 
 __all__ = ["LabelIndex"]
@@ -35,6 +37,22 @@ class LabelIndex:
         if pos is None:
             raise KeyError(f"unknown label {label!r}")
         return pos
+
+    def positions(self, labels: Iterable[str]) -> np.ndarray:
+        """Positions of many labels as an ``int64`` array (bulk lookup).
+
+        The counterpart of :meth:`position` for array-backed callers: one
+        call maps a whole batch of labels so downstream work stays in numpy.
+        """
+        getter = self._positions.get
+        labels = list(labels)
+        out = np.empty(len(labels), dtype=np.int64)
+        for k, label in enumerate(labels):
+            pos = getter(label)
+            if pos is None:
+                raise KeyError(f"unknown label {label!r}")
+            out[k] = pos
+        return out
 
     def label(self, position: int) -> str:
         """The label at ``position``."""

@@ -1,4 +1,10 @@
-"""Sparse user-by-user matrices (``T-hat``, ``B``, ``R``, ``T``)."""
+"""Sparse user-by-user matrices (``T-hat``, ``B``, ``R``, ``T``).
+
+This module is the repo's sparse kernel layer: every hot path (trust
+derivation, reputation assembly, propagation) reads and writes user-pair
+state through the bulk APIs here, so the per-entry Python overhead of the
+original dict-of-dicts implementation stays off the critical path.
+"""
 
 from __future__ import annotations
 
@@ -16,18 +22,43 @@ __all__ = ["UserPairMatrix"]
 class UserPairMatrix:
     """A sparse ``U x U`` matrix of user-pair values with named axes.
 
-    Stored as a dict-of-dicts (row-major) for cheap incremental construction
-    and row iteration, with conversion to :class:`scipy.sparse.csr_matrix`
-    for bulk numeric work.  An explicitly stored zero is allowed (meaning
-    "pair observed, value zero"), which matters when distinguishing
-    *observed non-trust* from *unobserved*; :meth:`nonzero_entries` and
-    :meth:`support` treat stored entries as present regardless of value.
+    Storage is array-backed: the consolidated state is a pair of parallel
+    arrays -- row-major-sorted flat keys ``i * U + j`` and their values --
+    plus an ordered list of *pending* write blocks.  Bulk writes
+    (:meth:`set_block`, :meth:`from_arrays`) append whole numpy blocks in
+    O(1) Python calls; point writes buffer into the same pending queue.
+    Reads consolidate lazily: pending blocks are merged with a single
+    vectorised sort/dedup pass that keeps the **last** write per key,
+    preserving overwrite semantics at O(nnz log nnz) numpy cost instead of
+    O(nnz) interpreted dict operations.
+
+    An explicitly stored zero is allowed (meaning "pair observed, value
+    zero"), which matters when distinguishing *observed non-trust* from
+    *unobserved*; :meth:`support` and friends treat stored entries as
+    present regardless of value.
+
+    A :class:`scipy.sparse.csr_matrix` view of the consolidated state is
+    cached (:meth:`csr`) and invalidated by any write, so repeated sparse
+    consumers (propagation, metrics) pay the conversion once.
     """
 
     def __init__(self, users: LabelIndex | Iterable[str]):
         self.users = users if isinstance(users, LabelIndex) else LabelIndex(users)
-        self._rows: dict[int, dict[int, float]] = {}
-        self._count = 0
+        self._n = len(self.users)
+        self._keys = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=np.float64)
+        # pending writes, in order: blocks of (keys, values) arrays plus a
+        # cheap tuple buffer for point writes (flushed into a block whenever
+        # ordering against a bulk write must be preserved)
+        self._pending_blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._pending_points: list[tuple[int, float]] = []
+        # pending additive writes onto keys absent from the consolidated
+        # arrays; invariant: non-empty only while the set-write queue above
+        # is empty (set-writes flush it, accumulate drains the queue first),
+        # so consolidation can merge it as plain base-zero sums
+        self._pending_accum: dict[int, float] = {}
+        self._lookup: dict[int, int] | None = None
+        self._csr: sparse.csr_matrix | None = None
 
     # ------------------------------------------------------------------ writes
 
@@ -39,31 +70,87 @@ class UserPairMatrix:
             raise ValidationError(f"pair value must be finite, got {value!r}")
         i = self.users.position(source_id)
         j = self.users.position(target_id)
-        row = self._rows.setdefault(i, {})
-        if j not in row:
-            self._count += 1
-        row[j] = float(value)
+        self._flush_accum()
+        self._pending_points.append((i * self._n + j, float(value)))
+        self._invalidate()
+
+    def set_block(
+        self,
+        rows: np.ndarray | Iterable[int],
+        cols: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[float] | float,
+    ) -> None:
+        """Bulk-store ``values`` at integer positions ``(rows, cols)``.
+
+        ``rows`` and ``cols`` are axis positions (see
+        :meth:`LabelIndex.positions` for label conversion); a scalar
+        ``values`` broadcasts across all pairs.  Later writes win over
+        earlier ones, exactly like repeated :meth:`set` calls.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.ndim != 1 or cols.ndim != 1 or rows.shape != cols.shape:
+            raise ValidationError(
+                f"rows and cols must be equal-length 1-D arrays, got shapes "
+                f"{rows.shape} and {cols.shape}"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 0:
+            values = np.full(rows.shape, float(values))
+        elif values.shape != rows.shape:
+            raise ValidationError(
+                f"values shape {values.shape} does not match {rows.size} pairs"
+            )
+        else:
+            values = values.copy()
+        if values.size and not np.isfinite(values).all():
+            raise ValidationError("pair values must be finite")
+        n = self._n
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n or cols.min() < 0 or cols.max() >= n:
+                raise ValidationError(
+                    f"positions must lie in [0, {n}); got rows in "
+                    f"[{rows.min()}, {rows.max()}], cols in [{cols.min()}, {cols.max()}]"
+                )
+        self._flush_accum()
+        self._flush_points()
+        self._pending_blocks.append((rows * n + cols, values))
+        self._invalidate()
 
     def accumulate(self, source_id: str, target_id: str, value: float) -> None:
-        """Add ``value`` onto the stored value (treating absent as 0)."""
+        """Add ``value`` onto the stored value (treating absent as 0).
+
+        Amortised O(1): existing entries are updated in place (binary
+        search on the sorted keys), new pairs buffer into a pending sum
+        that the next consolidation folds in.
+        """
         i = self.users.position(source_id)
         j = self.users.position(target_id)
-        row = self._rows.setdefault(i, {})
-        if j not in row:
-            self._count += 1
-            row[j] = 0.0
-        row[j] += float(value)
+        key = i * self._n + j
+        if self._pending_blocks or self._pending_points:
+            self._consolidate()
+        if key in self._pending_accum:
+            self._pending_accum[key] += float(value)
+            return
+        pos = self._find(key)
+        if pos is None:
+            self._pending_accum[key] = float(value)
+            self._invalidate()
+        else:
+            self._vals[pos] += float(value)
+            self._csr = None
 
     def discard(self, source_id: str, target_id: str) -> None:
         """Remove a stored pair (no-op when absent)."""
         i = self.users.position(source_id)
         j = self.users.position(target_id)
-        row = self._rows.get(i)
-        if row is not None and j in row:
-            del row[j]
-            self._count -= 1
-            if not row:
-                del self._rows[i]
+        key = i * self._n + j
+        self._consolidate()
+        pos = self._find(key)
+        if pos is not None:
+            self._keys = np.delete(self._keys, pos)
+            self._vals = np.delete(self._vals, pos)
+            self._invalidate()
 
     # ------------------------------------------------------------------ reads
 
@@ -71,79 +158,132 @@ class UserPairMatrix:
         """Stored value for the pair, or ``default`` when absent."""
         i = self.users.position(source_id)
         j = self.users.position(target_id)
-        row = self._rows.get(i)
-        if row is None:
-            return default
-        return row.get(j, default)
+        self._consolidate()
+        pos = self._ensure_lookup().get(i * self._n + j)
+        return default if pos is None else float(self._vals[pos])
 
     def contains(self, source_id: str, target_id: str) -> bool:
         """Whether the pair is explicitly stored (even with value 0)."""
         i = self.users.position(source_id)
         j = self.users.position(target_id)
-        row = self._rows.get(i)
-        return row is not None and j in row
+        self._consolidate()
+        return i * self._n + j in self._ensure_lookup()
 
     def row(self, source_id: str) -> dict[str, float]:
         """All stored targets of ``source_id`` as ``{target_id: value}``."""
-        i = self.users.position(source_id)
-        row = self._rows.get(i, {})
-        return {self.users.label(j): v for j, v in row.items()}
+        lo, hi = self._row_bounds(self.users.position(source_id))
+        labels = self.users.labels
+        cols = (self._keys[lo:hi] % self._n).tolist()
+        return {labels[j]: v for j, v in zip(cols, self._vals[lo:hi].tolist())}
 
     def row_size(self, source_id: str) -> int:
         """Number of stored entries in the row of ``source_id``."""
-        return len(self._rows.get(self.users.position(source_id), {}))
+        lo, hi = self._row_bounds(self.users.position(source_id))
+        return hi - lo
 
     def source_ids(self) -> list[str]:
-        """Users with at least one stored outgoing entry."""
-        return [self.users.label(i) for i in self._rows]
+        """Users with at least one stored outgoing entry (axis order)."""
+        self._consolidate()
+        if not self._keys.size:
+            return []
+        labels = self.users.labels
+        return [labels[i] for i in np.unique(self._keys // self._n).tolist()]
 
     def entries(self) -> Iterator[tuple[str, str, float]]:
-        """Iterate over ``(source_id, target_id, value)`` triples."""
-        for i, row in self._rows.items():
-            source = self.users.label(i)
-            for j, value in row.items():
-                yield source, self.users.label(j), value
+        """Iterate over ``(source_id, target_id, value)`` triples (row-major)."""
+        self._consolidate()
+        labels = self.users.labels
+        n = self._n
+        for key, value in zip(self._keys.tolist(), self._vals.tolist()):
+            yield labels[key // n], labels[key % n], value
+
+    def entries_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All stored entries as ``(rows, cols, values)`` position arrays.
+
+        Row-major sorted; this is the zero-interpretation bulk counterpart
+        of :meth:`entries` and the preferred way to feed downstream numpy
+        kernels.
+        """
+        self._consolidate()
+        return self._keys // self._n, self._keys % self._n, self._vals.copy()
 
     def num_entries(self) -> int:
         """Number of stored pairs (including explicit zeros)."""
-        return self._count
+        self._consolidate()
+        return int(self._keys.size)
 
     def support(self) -> set[tuple[str, str]]:
-        """The set of stored ``(source, target)`` pairs."""
-        return {(s, t) for s, t, _ in self.entries()}
+        """The set of stored ``(source, target)`` pairs as labels."""
+        self._consolidate()
+        return self._keys_to_pairs(self._keys)
+
+    def support_keys(self) -> np.ndarray:
+        """Stored pairs as sorted flat integer keys ``i * U + j`` (copy).
+
+        The integer form is what the set operations below use internally;
+        it joins against another matrix's keys with ``np.intersect1d`` /
+        ``np.setdiff1d`` instead of allocating label-tuple sets.
+        """
+        self._consolidate()
+        return self._keys.copy()
 
     def density(self) -> float:
         """Stored pairs divided by the ``U * (U - 1)`` possible ordered pairs."""
-        n = len(self.users)
-        possible = n * (n - 1)
+        possible = self._n * (self._n - 1)
         if possible == 0:
             return 0.0
-        return self._count / possible
+        return self.num_entries() / possible
 
     def values(self) -> np.ndarray:
         """All stored values as a flat array (row-major order)."""
-        out = np.empty(self._count, dtype=np.float64)
-        k = 0
-        for row in self._rows.values():
-            for value in row.values():
-                out[k] = value
-                k += 1
-        return out
+        self._consolidate()
+        return self._vals.copy()
 
     # ------------------------------------------------------------------ algebra
 
+    def csr(self) -> sparse.csr_matrix:
+        """Cached :class:`scipy.sparse.csr_matrix` view (explicit zeros kept).
+
+        The returned matrix is shared and must be treated as read-only; it
+        is rebuilt only after a write.  Use :meth:`to_csr` for a private
+        mutable copy.
+        """
+        self._consolidate()
+        if self._csr is None:
+            n = self._n
+            if self._keys.size:
+                rows = self._keys // n
+                indices = self._keys % n
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+                data = self._vals.copy()
+            else:
+                indices = np.empty(0, dtype=np.int64)
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                data = np.empty(0, dtype=np.float64)
+            matrix = sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+            matrix.has_sorted_indices = True
+            matrix.has_canonical_format = True
+            matrix.data.setflags(write=False)
+            self._csr = matrix
+        return self._csr
+
     def to_csr(self) -> sparse.csr_matrix:
-        """Convert to a ``scipy.sparse.csr_matrix`` (explicit zeros kept)."""
-        n = len(self.users)
-        data: list[float] = []
-        rows: list[int] = []
-        cols: list[int] = []
-        for i, row in self._rows.items():
-            for j, value in row.items():
-                rows.append(i)
-                cols.append(j)
-                data.append(value)
-        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+        """A fresh mutable ``csr_matrix`` copy (explicit zeros kept)."""
+        return self.csr().copy()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        users: LabelIndex | Iterable[str],
+        rows: np.ndarray | Iterable[int],
+        cols: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[float] | float,
+    ) -> "UserPairMatrix":
+        """Build from position arrays in one bulk write."""
+        out = cls(users)
+        out.set_block(rows, cols, values)
+        return out
 
     @classmethod
     def from_csr(
@@ -159,12 +299,13 @@ class UserPairMatrix:
                 f"matrix shape {matrix.shape} does not match axis length {len(users)}"
             )
         coo = matrix.tocoo()
-        out = cls(users)
-        for i, j, v in zip(coo.row, coo.col, coo.data):
-            if v == 0.0 and not keep_zeros:
-                continue
-            out.set(users.label(int(i)), users.label(int(j)), float(v))
-        return out
+        rows = np.asarray(coo.row, dtype=np.int64)
+        cols = np.asarray(coo.col, dtype=np.int64)
+        data = np.asarray(coo.data, dtype=np.float64)
+        if not keep_zeros:
+            nonzero = data != 0.0
+            rows, cols, data = rows[nonzero], cols[nonzero], data[nonzero]
+        return cls.from_arrays(users, rows, cols, data)
 
     @classmethod
     def from_pairs(
@@ -189,19 +330,40 @@ class UserPairMatrix:
     def intersect_support(self, other: "UserPairMatrix") -> set[tuple[str, str]]:
         """Pairs stored in both matrices (paper's ``R ∩ T`` etc.)."""
         self._require_same_axis(other)
-        return self.support() & other.support()
+        self._consolidate()
+        other._consolidate()
+        shared = np.intersect1d(self._keys, other._keys, assume_unique=True)
+        return self._keys_to_pairs(shared)
 
     def subtract_support(self, other: "UserPairMatrix") -> set[tuple[str, str]]:
         """Pairs stored here but not in ``other`` (paper's ``T − R`` etc.)."""
         self._require_same_axis(other)
-        return self.support() - other.support()
+        self._consolidate()
+        other._consolidate()
+        only = np.setdiff1d(self._keys, other._keys, assume_unique=True)
+        return self._keys_to_pairs(only)
 
     def restrict_to(self, pairs: set[tuple[str, str]]) -> "UserPairMatrix":
         """A new matrix keeping only the given pairs (values preserved)."""
+        self._consolidate()
         out = UserPairMatrix(self.users)
-        for source, target, value in self.entries():
-            if (source, target) in pairs:
-                out.set(source, target, value)
+        if pairs and self._keys.size:
+            position = self.users.position
+            users = self.users
+            n = self._n
+            # pairs naming users off this axis cannot be stored here; skip
+            # them rather than failing the whole restriction
+            wanted = np.fromiter(
+                (
+                    position(s) * n + position(t)
+                    for s, t in pairs
+                    if s in users and t in users
+                ),
+                dtype=np.int64,
+            )
+            mask = np.isin(self._keys, wanted, assume_unique=False)
+            out._keys = self._keys[mask].copy()
+            out._vals = self._vals[mask].copy()
         return out
 
     def _require_same_axis(self, other: "UserPairMatrix") -> None:
@@ -211,9 +373,89 @@ class UserPairMatrix:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, UserPairMatrix):
             return NotImplemented
-        return self.users == other.users and dict(
-            ((s, t), v) for s, t, v in self.entries()
-        ) == dict(((s, t), v) for s, t, v in other.entries())
+        if self.users != other.users:
+            return False
+        self._consolidate()
+        other._consolidate()
+        return np.array_equal(self._keys, other._keys) and np.array_equal(
+            self._vals, other._vals
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"UserPairMatrix(users={len(self.users)}, entries={self._count})"
+        return f"UserPairMatrix(users={len(self.users)}, entries={self.num_entries()})"
+
+    # ------------------------------------------------------------------ internals
+
+    def _invalidate(self) -> None:
+        self._lookup = None
+        self._csr = None
+
+    def _find(self, key: int) -> int | None:
+        """Position of ``key`` in the consolidated arrays (binary search)."""
+        pos = int(np.searchsorted(self._keys, key))
+        if pos < self._keys.size and self._keys[pos] == key:
+            return pos
+        return None
+
+    def _flush_accum(self) -> None:
+        if self._pending_accum:
+            # pending-accum keys are absent from the consolidated arrays and
+            # (by invariant) from the set-write queue, so their sums merge
+            # as ordinary base-zero writes
+            keys = np.fromiter(
+                self._pending_accum.keys(), dtype=np.int64, count=len(self._pending_accum)
+            )
+            vals = np.fromiter(
+                self._pending_accum.values(),
+                dtype=np.float64,
+                count=len(self._pending_accum),
+            )
+            self._pending_blocks.append((keys, vals))
+            self._pending_accum = {}
+
+    def _flush_points(self) -> None:
+        if self._pending_points:
+            keys = np.fromiter(
+                (k for k, _ in self._pending_points),
+                dtype=np.int64,
+                count=len(self._pending_points),
+            )
+            vals = np.fromiter(
+                (v for _, v in self._pending_points),
+                dtype=np.float64,
+                count=len(self._pending_points),
+            )
+            self._pending_blocks.append((keys, vals))
+            self._pending_points = []
+
+    def _consolidate(self) -> None:
+        """Merge pending writes into the sorted, deduplicated arrays."""
+        if not (self._pending_blocks or self._pending_points or self._pending_accum):
+            return
+        self._flush_accum()
+        self._flush_points()
+        keys = np.concatenate([self._keys] + [k for k, _ in self._pending_blocks])
+        vals = np.concatenate([self._vals] + [v for _, v in self._pending_blocks])
+        self._pending_blocks = []
+        # keep the LAST write per key: unique over the reversed array picks
+        # the first occurrence there, i.e. the most recent write
+        uniq, idx = np.unique(keys[::-1], return_index=True)
+        self._keys = uniq
+        self._vals = vals[::-1][idx]
+
+    def _ensure_lookup(self) -> dict[int, int]:
+        if self._lookup is None:
+            self._lookup = dict(zip(self._keys.tolist(), range(self._keys.size)))
+        return self._lookup
+
+    def _row_bounds(self, i: int) -> tuple[int, int]:
+        self._consolidate()
+        n = self._n
+        lo = int(np.searchsorted(self._keys, i * n, side="left"))
+        hi = int(np.searchsorted(self._keys, (i + 1) * n, side="left"))
+        return lo, hi
+
+    def _keys_to_pairs(self, keys: np.ndarray) -> set[tuple[str, str]]:
+        labels = self.users.labels
+        n = self._n
+        return {(labels[k // n], labels[k % n]) for k in keys.tolist()}

@@ -66,6 +66,31 @@ class UserCategoryMatrix:
             self.users.position(user_id), self.categories.position(category_id)
         ] = value
 
+    def set_column(
+        self,
+        category_id: str,
+        user_ids: Iterable[str],
+        values: np.ndarray | Iterable[float],
+    ) -> None:
+        """Bulk-set one category's column for many users at once.
+
+        The vectorised counterpart of per-entry :meth:`set`: ``values[k]``
+        is stored at ``(user_ids[k], category_id)`` in a single fancy-index
+        write.  All values must lie in ``[0, 1]``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        rows = self.users.positions(user_ids)
+        if values.shape != rows.shape:
+            raise ValidationError(
+                f"values shape {values.shape} does not match {rows.size} users"
+            )
+        if values.size:
+            if np.isnan(values).any():
+                raise ValidationError("user-category values must not contain NaN")
+            if values.min() < -1e-12 or values.max() > 1 + 1e-12:
+                raise ValidationError("user-category values must lie in [0, 1]")
+        self._values[rows, self.categories.position(category_id)] = values
+
     def user_row(self, user_id: str) -> np.ndarray:
         """Copy of the row for ``user_id`` (length ``C``)."""
         return self._values[self.users.position(user_id), :].copy()

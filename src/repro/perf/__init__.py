@@ -1,0 +1,21 @@
+"""Micro-benchmark harness for the sparse kernel layer.
+
+:mod:`repro.perf.reference` keeps frozen copies of the seed (pre-kernel)
+hot-path implementations; :mod:`repro.perf.bench` times them against the
+vectorised kernels and emits ``BENCH_perf.json`` so the speedup is tracked
+across PRs.
+"""
+
+from repro.perf.bench import run_kernel_bench
+from repro.perf.reference import (
+    reference_derive_trust,
+    reference_eigen_trust,
+    reference_fit_expertise,
+)
+
+__all__ = [
+    "run_kernel_bench",
+    "reference_derive_trust",
+    "reference_eigen_trust",
+    "reference_fit_expertise",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.perf`` -- run the kernel benchmark and emit BENCH JSON."""
+
+from repro.perf.bench import main
+
+raise SystemExit(main())

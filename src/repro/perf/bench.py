@@ -1,0 +1,151 @@
+"""Micro-benchmark of the sparse kernel layer, with a ``BENCH_perf.json`` emitter.
+
+Times the vectorised hot paths against the frozen seed implementations in
+:mod:`repro.perf.reference` on a synthetic community:
+
+- **derive** -- Step 3, eq. 5 (``T-hat = W @ E.T`` materialisation);
+- **step1_fit** -- Step 1, eqs. 1-3 (per-category fixed points + assembly);
+- **propagation_eigentrust** -- one global propagation pass over ``R``.
+
+Run it as a module::
+
+    python -m repro.perf.bench --users 2000 --seed 7 --out BENCH_perf.json
+
+``--quick`` shrinks the community for CI smoke runs.  The derive kernel is
+additionally checked for exact equality against the reference, so the
+speedup never comes at the cost of a changed result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable
+
+from repro.affinity import AffinityEstimator
+from repro.common.validation import require_positive
+from repro.datasets import CommunityProfile, generate_community
+from repro.perf.reference import (
+    reference_derive_trust,
+    reference_eigen_trust,
+    reference_fit_expertise,
+)
+from repro.propagation import eigen_trust
+from repro.reputation import ExpertiseEstimator
+from repro.trust import TrustDeriver, direct_connection_matrix
+
+__all__ = ["run_kernel_bench"]
+
+
+def _best_of(callable_: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_kernel_bench(
+    *,
+    num_users: int = 2000,
+    seed: int = 7,
+    repeats: int = 3,
+    out_path: str | None = None,
+    quick: bool = False,
+) -> dict:
+    """Benchmark the kernel layer and optionally write ``BENCH_perf.json``.
+
+    Returns the result document.  ``quick`` drops the community to 300
+    users and a single repeat -- a smoke configuration for CI.
+    """
+    require_positive("num_users", num_users)
+    require_positive("repeats", repeats)
+    if quick:
+        num_users = min(num_users, 300)
+        repeats = 1
+
+    dataset = generate_community(CommunityProfile(num_users=num_users), seed=seed)
+    community = dataset.community
+
+    # --- Step 1: per-category fixed points + matrix assembly -------------
+    before_fit, _ = _best_of(lambda: reference_fit_expertise(community), 1)
+    after_fit, fit_result = _best_of(lambda: ExpertiseEstimator().fit(community), 1)
+
+    # --- Step 3: eq. 5 derivation ---------------------------------------
+    affiliation = AffinityEstimator().fit(community)
+    expertise = fit_result.expertise
+    deriver = TrustDeriver()
+
+    before_derive, reference_derived = _best_of(
+        lambda: reference_derive_trust(affiliation, expertise), repeats
+    )
+    after_derive, derived = _best_of(
+        lambda: deriver.derive(affiliation, expertise), repeats
+    )
+    matrices_equal = derived == reference_derived
+
+    # --- one propagation pass over the direct-connection web ------------
+    connections = direct_connection_matrix(community)
+    before_prop, _ = _best_of(lambda: reference_eigen_trust(connections), repeats)
+    after_prop, _ = _best_of(lambda: eigen_trust(connections), repeats)
+
+    def entry(before: float, after: float) -> dict:
+        return {
+            "before_s": round(before, 6),
+            "after_s": round(after, 6),
+            "speedup": round(before / after, 2) if after > 0 else None,
+        }
+
+    document = {
+        "config": {
+            "num_users": num_users,
+            "seed": seed,
+            "repeats": repeats,
+            "quick": quick,
+            "derived_entries": derived.num_entries(),
+            "python": platform.python_version(),
+        },
+        "kernels": {
+            "derive": entry(before_derive, after_derive),
+            "step1_fit": entry(before_fit, after_fit),
+            "propagation_eigentrust": entry(before_prop, after_prop),
+        },
+        "derive_matrices_identical": bool(matrices_equal),
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=2000, help="community size")
+    parser.add_argument("--seed", type=int, default=7, help="generation seed")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--out", default="BENCH_perf.json", help="output JSON path")
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration for CI"
+    )
+    args = parser.parse_args(argv)
+    document = run_kernel_bench(
+        num_users=args.users,
+        seed=args.seed,
+        repeats=args.repeats,
+        out_path=args.out,
+        quick=args.quick,
+    )
+    json.dump(document, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,151 @@
+"""Frozen seed implementations of the pipeline's hot paths.
+
+These are verbatim ports of the pre-kernel-layer code: numerically cheap
+numpy work whose results are materialised through per-entry Python calls
+(``UserPairMatrix.set`` / ``UserCategoryMatrix.set`` per element, label
+lookups per entry, dense edge loops).  They exist for two reasons:
+
+- **equivalence testing** -- the vectorised kernels must produce identical
+  results (see ``tests/trust/test_kernel_equivalence.py``);
+- **benchmarking** -- :mod:`repro.perf.bench` times them as the "before"
+  side of ``BENCH_perf.json``.
+
+Do not optimise this module; it is the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConvergenceError
+from repro.community import Community
+from repro.matrix import LabelIndex, UserCategoryMatrix, UserPairMatrix
+from repro.reputation.estimator import ExpertiseResult
+from repro.reputation.riggs import CategoryFixedPoint, RiggsConfig, solve_category
+from repro.reputation.writer import writer_reputations
+
+__all__ = [
+    "reference_derive_trust",
+    "reference_fit_expertise",
+    "reference_eigen_trust",
+]
+
+
+def reference_derive_trust(
+    affiliation: UserCategoryMatrix,
+    expertise: UserCategoryMatrix,
+    *,
+    min_value: float = 0.0,
+    include_self: bool = False,
+    block_size: int = 512,
+) -> UserPairMatrix:
+    """Seed implementation of eq. 5: blocked matmul, per-entry stores.
+
+    Uses the same block decomposition as :class:`repro.trust.TrustDeriver`,
+    so the floating-point results are bitwise identical -- only the
+    materialisation differs (one interpreted ``set`` call per entry).
+    """
+    users = affiliation.users
+    a_values = affiliation.values_view()
+    e_transposed = expertise.values_view().T.copy()
+
+    row_sums = a_values.sum(axis=1)
+    active_rows = np.nonzero(row_sums > 0.0)[0]
+
+    result = UserPairMatrix(users)
+    for start in range(0, len(active_rows), block_size):
+        block_rows = active_rows[start : start + block_size]
+        weights = a_values[block_rows, :] / row_sums[block_rows, None]
+        block = weights @ e_transposed
+        for local, i in enumerate(block_rows):
+            values = block[local]
+            targets = np.nonzero(values > min_value)[0]
+            source = users.label(int(i))
+            for j in targets:
+                if not include_self and int(j) == int(i):
+                    continue
+                result.set(source, users.label(int(j)), float(values[j]))
+    return result
+
+
+def reference_fit_expertise(
+    community: Community,
+    config: RiggsConfig | None = None,
+    *,
+    unrated_policy: str = "exclude",
+) -> ExpertiseResult:
+    """Seed implementation of the Step-1 orchestration.
+
+    Serial per-category solves with the ``E`` and rater matrices assembled
+    through one :meth:`UserCategoryMatrix.set` call per entry.
+    """
+    config = config or RiggsConfig()
+    users = LabelIndex(community.user_ids())
+    categories = LabelIndex(community.category_ids())
+    expertise = UserCategoryMatrix(users, categories)
+    rater_rep = UserCategoryMatrix(users, categories)
+    fixed_points: dict[str, CategoryFixedPoint] = {}
+
+    for category_id in categories:
+        fixed_point = solve_category(community.rating_triples(category_id), config)
+        fixed_points[category_id] = fixed_point
+        for rater_id, value in fixed_point.rater_reputation.items():
+            rater_rep.set(rater_id, category_id, value)
+
+        review_writers = {
+            review.review_id: review.writer_id
+            for review in community.reviews_in_category(category_id)
+        }
+        writers = writer_reputations(
+            review_writers,
+            fixed_point.review_quality,
+            experience_discount_enabled=config.experience_discount_enabled,
+            unrated_policy=unrated_policy,
+        )
+        for writer_id, value in writers.items():
+            expertise.set(writer_id, category_id, value)
+
+    return ExpertiseResult(
+        expertise=expertise, rater_reputation=rater_rep, fixed_points=fixed_points
+    )
+
+
+def reference_eigen_trust(
+    trust: UserPairMatrix,
+    *,
+    alpha: float = 0.15,
+    tolerance: float = 1e-10,
+    max_iterations: int = 1000,
+) -> dict[str, float]:
+    """Seed implementation of EigenTrust: dense matrix, per-edge Python fill."""
+    users = list(trust.users)
+    if not users:
+        return {}
+    index = {node: i for i, node in enumerate(users)}
+    n = len(users)
+    p = np.full(n, 1.0 / n)
+
+    matrix = np.zeros((n, n))
+    for source, target, value in trust.entries():
+        matrix[index[source], index[target]] = value
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    dangling = row_sums[:, 0] == 0.0
+    matrix = np.divide(matrix, np.where(row_sums > 0, row_sums, 1.0))
+
+    t = p.copy()
+    for _ in range(max_iterations):
+        spread = matrix.T @ t + p * float(t[dangling].sum())
+        new_t = (1.0 - alpha) * spread + alpha * p
+        total = new_t.sum()
+        if total > 0:
+            new_t = new_t / total
+        residual = float(np.abs(new_t - t).max())
+        t = new_t
+        if residual < tolerance:
+            return {node: float(t[index[node]]) for node in users}
+    raise ConvergenceError(
+        f"EigenTrust did not converge in {max_iterations} iterations",
+        iterations=max_iterations,
+        residual=residual,
+        tolerance=tolerance,
+    )

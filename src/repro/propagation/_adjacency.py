@@ -1,0 +1,40 @@
+"""Shared input adapter for the propagation algorithms.
+
+Every propagation model accepts either a :class:`repro.matrix.UserPairMatrix`
+(the fast path -- its cached CSR view is consumed directly, no per-edge
+Python iteration) or a :class:`networkx.DiGraph` (the compatibility path --
+edges are gathered once into a matrix over the graph's node set).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import networkx as nx
+
+from repro.matrix import LabelIndex, UserPairMatrix
+
+__all__ = ["TrustWeb", "as_pair_matrix"]
+
+TrustWeb = Union[UserPairMatrix, "nx.DiGraph"]
+
+
+def as_pair_matrix(
+    web: TrustWeb,
+    *,
+    weight_key: str = "trust",
+    default_weight: float = 1.0,
+) -> UserPairMatrix:
+    """Coerce a trust web into a :class:`UserPairMatrix`.
+
+    A matrix passes through untouched (so its cached CSR is reused); a
+    digraph is converted once, with every node on the axis and edges
+    missing ``weight_key`` falling back to ``default_weight``.
+    """
+    if isinstance(web, UserPairMatrix):
+        return web
+    users = LabelIndex(str(node) for node in web.nodes)
+    matrix = UserPairMatrix(users)
+    for source, target, data in web.edges(data=True):
+        matrix.set(str(source), str(target), float(data.get(weight_key, default_weight)))
+    return matrix

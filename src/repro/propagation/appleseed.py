@@ -7,20 +7,27 @@ Iteration continues until the flowing energy change falls below a
 threshold.  The result is a personalised trust ranking of all nodes
 reachable from the source -- the "spreading activation model" the paper
 cites for trust propagation.
+
+Each sweep is vectorised over the whole energy front: the per-edge shares
+are one scaled gather over the CSR adjacency and one ``bincount`` scatter,
+instead of Python loops over successor lists.  Pass a
+:class:`repro.matrix.UserPairMatrix` to reuse its cached CSR; a
+:class:`networkx.DiGraph` is accepted for compatibility.
 """
 
 from __future__ import annotations
 
-import networkx as nx
+import numpy as np
 
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.validation import require_in_range, require_positive
+from repro.propagation._adjacency import TrustWeb, as_pair_matrix
 
 __all__ = ["appleseed"]
 
 
 def appleseed(
-    graph: nx.DiGraph,
+    web: TrustWeb,
     source: str,
     *,
     weight_key: str = "trust",
@@ -33,6 +40,9 @@ def appleseed(
 
     Parameters
     ----------
+    web:
+        The trust web: a :class:`repro.matrix.UserPairMatrix` (fast path)
+        or a weighted :class:`networkx.DiGraph`.
     energy:
         Energy injected at the source (``in_0``); ranks scale linearly
         with it.
@@ -46,39 +56,49 @@ def appleseed(
         ``{node: rank}`` for every node that received energy; the source
         itself keeps rank 0 (it only distributes).
     """
-    if source not in graph:
+    matrix = as_pair_matrix(web, weight_key=weight_key)
+    users = matrix.users
+    if source not in users:
         raise ValidationError(f"source {source!r} is not a graph node")
     require_positive("energy", energy)
     require_in_range("spreading_factor", spreading_factor, 0.0, 1.0, inclusive=False)
     require_positive("tolerance", tolerance)
 
-    rank: dict[str, float] = {source: 0.0}
-    incoming: dict[str, float] = {source: energy}
+    n = len(users)
+    src = users.position(source)
+
+    # positive-weight edge arrays (zero/negative edges carry no energy)
+    adjacency = matrix.csr()
+    edge_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(adjacency.indptr))
+    positive = adjacency.data > 0.0
+    edge_rows = edge_rows[positive]
+    edge_cols = adjacency.indices[positive]
+    # each edge's fraction of its row's outgoing weight
+    out_weight = np.bincount(edge_rows, weights=adjacency.data[positive], minlength=n)
+    edge_share = adjacency.data[positive] / np.where(out_weight > 0, out_weight, 1.0)[edge_rows]
+
+    keep_factor = 1.0 - spreading_factor
+    rank = np.zeros(n, dtype=np.float64)
+    incoming = np.zeros(n, dtype=np.float64)
+    incoming[src] = energy
+    received = np.zeros(n, dtype=bool)
+    received[src] = True
 
     for _ in range(max_iterations):
-        outgoing: dict[str, float] = {}
-        max_flow = 0.0
-        for node, flow in incoming.items():
-            if flow <= 0.0:
-                continue
-            successors = [
-                (target, float(data.get(weight_key, 1.0)))
-                for _, target, data in graph.out_edges(node, data=True)
-                if float(data.get(weight_key, 1.0)) > 0.0
-            ]
-            if node != source:
-                rank[node] = rank.get(node, 0.0) + (1.0 - spreading_factor) * flow
-            if not successors:
-                continue  # sink node: untransmitted energy is retained above
-            forwarded = flow if node == source else spreading_factor * flow
-            total_weight = sum(weight for _, weight in successors)
-            for target, weight in successors:
-                share = forwarded * weight / total_weight
-                outgoing[target] = outgoing.get(target, 0.0) + share
-                max_flow = max(max_flow, share)
-        incoming = outgoing
+        received |= incoming > 0.0
+        # every node except the source retains its share as rank ...
+        retained = keep_factor * incoming
+        retained[src] = 0.0
+        rank += retained
+        # ... and forwards the rest (the source forwards everything)
+        forwarded = spreading_factor * incoming
+        forwarded[src] = incoming[src]
+        shares = forwarded[edge_rows] * edge_share
+        max_flow = float(shares.max()) if shares.size else 0.0
+        incoming = np.bincount(edge_cols, weights=shares, minlength=n)
         if max_flow < tolerance:
-            return rank
+            labels = users.labels
+            return {labels[i]: float(rank[i]) for i in np.nonzero(received)[0]}
     raise ConvergenceError(
         f"Appleseed did not converge in {max_iterations} iterations",
         iterations=max_iterations,

@@ -12,21 +12,27 @@ where ``C`` is the row-normalised trust matrix, ``p`` the pre-trust
 distribution and ``a`` the mixing weight.  The result ranks every node by
 community-wide trust (the paper's §II: global models "rank all nodes with
 a universal trust value").
+
+The iteration runs on the sparse CSR view of the trust web -- pass a
+:class:`repro.matrix.UserPairMatrix` to reuse its cached CSR directly; a
+:class:`networkx.DiGraph` is accepted for compatibility and converted
+once.
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import numpy as np
+from scipy import sparse
 
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.validation import require_fraction, require_positive
+from repro.propagation._adjacency import TrustWeb, as_pair_matrix
 
 __all__ = ["eigen_trust"]
 
 
 def eigen_trust(
-    graph: nx.DiGraph,
+    web: TrustWeb,
     *,
     weight_key: str = "trust",
     pretrust: dict[str, float] | None = None,
@@ -38,6 +44,9 @@ def eigen_trust(
 
     Parameters
     ----------
+    web:
+        The trust web: a :class:`repro.matrix.UserPairMatrix` (fast path)
+        or a weighted :class:`networkx.DiGraph`.
     pretrust:
         Prior trust distribution (defaults to uniform).  Values are
         normalised to sum 1; nodes absent from the mapping get 0.
@@ -54,29 +63,29 @@ def eigen_trust(
     require_positive("tolerance", tolerance)
     require_positive("max_iterations", max_iterations)
 
-    nodes = list(graph.nodes)
-    if not nodes:
+    matrix = as_pair_matrix(web, weight_key=weight_key)
+    users = matrix.users
+    n = len(users)
+    if n == 0:
         return {}
-    index = {node: i for i, node in enumerate(nodes)}
-    n = len(nodes)
 
-    p = _pretrust_vector(pretrust, nodes, index)
+    adjacency = matrix.csr()
+    if adjacency.nnz and adjacency.data.size and float(adjacency.data.min()) < 0.0:
+        raise ValidationError("EigenTrust requires non-negative edge weights")
 
-    # row-normalised trust matrix C
-    matrix = np.zeros((n, n))
-    for source, target, data in graph.edges(data=True):
-        weight = float(data.get(weight_key, 1.0))
-        if weight < 0:
-            raise ValidationError("EigenTrust requires non-negative edge weights")
-        matrix[index[source], index[target]] = weight
-    row_sums = matrix.sum(axis=1, keepdims=True)
-    dangling = (row_sums[:, 0] == 0.0)
-    matrix = np.divide(matrix, np.where(row_sums > 0, row_sums, 1.0))
+    p = _pretrust_vector(pretrust, users)
+
+    row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
+    dangling = row_sums == 0.0
+    inverse = np.where(dangling, 0.0, 1.0 / np.where(dangling, 1.0, row_sums))
+    # column-oriented form of the row-normalised matrix, so each sweep is
+    # one sparse mat-vec
+    spread_op = sparse.diags(inverse).dot(adjacency).T.tocsr()
 
     t = p.copy()
     for _ in range(max_iterations):
         # dangling users are treated as trusting the pre-trusted peers
-        spread = matrix.T @ t + p * float(t[dangling].sum())
+        spread = spread_op @ t + p * float(t[dangling].sum())
         new_t = (1.0 - alpha) * spread + alpha * p
         total = new_t.sum()
         if total > 0:
@@ -84,7 +93,8 @@ def eigen_trust(
         residual = float(np.abs(new_t - t).max())
         t = new_t
         if residual < tolerance:
-            return {node: float(t[index[node]]) for node in nodes}
+            labels = users.labels
+            return {labels[i]: float(t[i]) for i in range(n)}
     raise ConvergenceError(
         f"EigenTrust did not converge in {max_iterations} iterations",
         iterations=max_iterations,
@@ -93,19 +103,17 @@ def eigen_trust(
     )
 
 
-def _pretrust_vector(
-    pretrust: dict[str, float] | None, nodes: list[str], index: dict[str, int]
-) -> np.ndarray:
-    n = len(nodes)
+def _pretrust_vector(pretrust: dict[str, float] | None, users) -> np.ndarray:
+    n = len(users)
     if pretrust is None:
         return np.full(n, 1.0 / n)
     p = np.zeros(n)
     for node, value in pretrust.items():
-        if node not in index:
+        if node not in users:
             raise ValidationError(f"pretrust names unknown node {node!r}")
         if value < 0:
             raise ValidationError("pretrust values must be non-negative")
-        p[index[node]] = value
+        p[users.position(node)] = value
     total = p.sum()
     if total <= 0:
         raise ValidationError("pretrust must have positive total mass")

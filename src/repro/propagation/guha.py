@@ -84,7 +84,7 @@ def guha_propagation(
         require_positive("top_k", top_k)
     weights = weights or GuhaWeights()
 
-    base = trust.to_csr()
+    base = trust.csr()
     transpose = base.T.tocsr()
     combined = (
         weights.direct * base

@@ -12,19 +12,26 @@ To infer the trust of ``source`` in ``sink``:
 
 The algorithm reflects the paper's observation that "highly trusted
 neighbours and closer neighbours are more accurate".
+
+All three phases run level-synchronously on the CSR adjacency: each BFS
+level, strength sweep and back-propagation step gathers the whole level's
+edges at once instead of looping per node.  Pass a
+:class:`repro.matrix.UserPairMatrix` to reuse its cached CSR; a
+:class:`networkx.DiGraph` is accepted for compatibility.
 """
 
 from __future__ import annotations
 
-import networkx as nx
+import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.propagation._adjacency import TrustWeb, as_pair_matrix
 
 __all__ = ["tidal_trust"]
 
 
 def tidal_trust(
-    graph: nx.DiGraph,
+    web: TrustWeb,
     source: str,
     sink: str,
     *,
@@ -36,89 +43,161 @@ def tidal_trust(
     paper attributes to sparse webs of trust).  A direct edge returns its
     own weight.  Edge weights must lie in ``[0, 1]``.
     """
-    if source not in graph or sink not in graph:
+    matrix = as_pair_matrix(web, weight_key=weight_key)
+    users = matrix.users
+    if source not in users or sink not in users:
         raise ValidationError(f"source {source!r} and sink {sink!r} must be graph nodes")
     if source == sink:
         return 1.0
-    if graph.has_edge(source, sink):
-        return float(graph[source][sink].get(weight_key, 1.0))
 
-    depth_of = _bfs_depths(graph, source, sink)
-    if depth_of is None:
+    adjacency = matrix.csr()
+    indptr, indices, data = adjacency.indptr, adjacency.indices, adjacency.data
+    n = len(users)
+    src = users.position(source)
+    snk = users.position(sink)
+
+    direct = indices[indptr[src] : indptr[src + 1]] == snk
+    if direct.any():
+        return float(data[indptr[src] : indptr[src + 1]][direct][0])
+
+    forward = _bfs_levels(indptr, indices, n, src, until=snk)
+    if forward is None:
         return None
+    depth_from_source, sink_depth = forward
 
-    threshold = _max_path_strength(graph, source, sink, depth_of, weight_key)
+    csc = adjacency.tocsc()
+    depth_to_sink, _ = _bfs_levels(
+        csc.indptr, csc.indices, n, snk, cutoff=sink_depth
+    )
+
+    # nodes on at least one shortest source->sink path, grouped by depth
+    on_path = (
+        (depth_from_source >= 0)
+        & (depth_to_sink >= 0)
+        & (depth_from_source + depth_to_sink == sink_depth)
+    )
+    levels = [
+        np.nonzero(on_path & (depth_from_source == depth))[0]
+        for depth in range(sink_depth + 1)
+    ]
+
+    threshold = _max_path_strength(
+        indptr, indices, data, levels, depth_from_source, on_path, src, snk, n
+    )
 
     # back-propagate trust from the sink, level by level; the base case is
     # the direct edge of each of the sink's shortest-path predecessors
-    sink_depth = depth_of[sink]
-    by_depth: dict[int, list[str]] = {}
-    for node, node_depth in depth_of.items():
-        by_depth.setdefault(node_depth, []).append(node)
-
-    inferred: dict[str, float] = {}
-    for node in by_depth.get(sink_depth - 1, ()):
-        if graph.has_edge(node, sink):
-            inferred[node] = float(graph[node][sink].get(weight_key, 1.0))
+    inferred = np.full(n, np.nan)
+    rows, cols, weights = _gather_edges(indptr, indices, data, levels[sink_depth - 1])
+    base = cols == snk
+    inferred[rows[base]] = weights[base]
 
     for depth in range(sink_depth - 2, -1, -1):
-        for node in by_depth.get(depth, ()):
-            numerator = 0.0
-            denominator = 0.0
-            for _, neighbour, data in graph.out_edges(node, data=True):
-                if depth_of.get(neighbour) != depth + 1 or neighbour not in inferred:
-                    continue
-                weight = float(data.get(weight_key, 1.0))
-                if weight < threshold:
-                    continue
-                numerator += weight * inferred[neighbour]
-                denominator += weight
-            if denominator > 0.0:
-                inferred[node] = numerator / denominator
-    return inferred.get(source)
+        rows, cols, weights = _gather_edges(indptr, indices, data, levels[depth])
+        usable = (
+            on_path[cols]
+            & (depth_from_source[cols] == depth + 1)
+            & ~np.isnan(inferred[cols])
+            & (weights >= threshold)
+        )
+        rows, cols, weights = rows[usable], cols[usable], weights[usable]
+        numerator = np.bincount(rows, weights=weights * inferred[cols], minlength=n)
+        denominator = np.bincount(rows, weights=weights, minlength=n)
+        settled = levels[depth][denominator[levels[depth]] > 0.0]
+        inferred[settled] = numerator[settled] / denominator[settled]
+
+    value = inferred[src]
+    return None if np.isnan(value) else float(value)
 
 
-def _bfs_depths(graph: nx.DiGraph, source: str, sink: str) -> dict[str, int] | None:
-    """Depths of nodes on shortest source->sink paths (None if unreachable)."""
-    try:
-        sink_depth = nx.shortest_path_length(graph, source, sink)
-    except nx.NetworkXNoPath:
+def _edge_positions(
+    indptr: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat positions of all out-edges of ``nodes`` plus their repeated rows."""
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(nodes, counts), np.repeat(starts, counts) + offsets
+
+
+def _gather_edges(
+    indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All out-edges of ``nodes`` as ``(rows, cols, weights)`` arrays."""
+    rows, edge_pos = _edge_positions(indptr, nodes)
+    return rows, indices[edge_pos], data[edge_pos]
+
+
+def _bfs_levels(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    start: int,
+    *,
+    until: int | None = None,
+    cutoff: int | None = None,
+) -> tuple[np.ndarray, int] | None:
+    """Level-synchronous BFS depths from ``start``.
+
+    Expansion stops at the level where ``until`` is reached (returning
+    ``None`` if it never is), or at ``cutoff`` levels.  Returns the depth
+    array (-1 = unreached) and the final depth.
+    """
+    depths = np.full(n, -1, dtype=np.int64)
+    depths[start] = 0
+    frontier = np.array([start], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        if until is not None and depths[until] >= 0:
+            return depths, depth
+        if cutoff is not None and depth >= cutoff:
+            return depths, depth
+        depth += 1
+        _, edge_pos = _edge_positions(indptr, frontier)
+        if edge_pos.size == 0:
+            break
+        neighbours = indices[edge_pos]
+        fresh = np.unique(neighbours[depths[neighbours] < 0])
+        depths[fresh] = depth
+        frontier = fresh
+    if until is not None:
         return None
-    from_source = nx.single_source_shortest_path_length(graph, source, cutoff=sink_depth)
-    reverse = graph.reverse(copy=False)
-    to_sink = nx.single_source_shortest_path_length(reverse, sink, cutoff=sink_depth)
-    return {
-        node: depth
-        for node, depth in from_source.items()
-        if node in to_sink and depth + to_sink[node] == sink_depth
-    }
+    return depths, depth
 
 
 def _max_path_strength(
-    graph: nx.DiGraph,
-    source: str,
-    sink: str,
-    depth_of: dict[str, int],
-    weight_key: str,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    levels: list[np.ndarray],
+    depth_from_source: np.ndarray,
+    on_path: np.ndarray,
+    src: int,
+    snk: int,
+    n: int,
 ) -> float:
     """Largest min-edge-weight over shortest paths (edges into the sink free)."""
-    sink_depth = depth_of[sink]
-    strength: dict[str, float] = {source: float("inf")}
+    sink_depth = len(levels) - 1
+    strength = np.full(n, -1.0)  # -1 = unreached
+    strength[src] = np.inf
     for depth in range(sink_depth):
-        for node, node_depth in depth_of.items():
-            if node_depth != depth or node not in strength:
-                continue
-            for _, neighbour, data in graph.out_edges(node, data=True):
-                if depth_of.get(neighbour) != depth + 1:
-                    continue
-                weight = float(data.get(weight_key, 1.0))
-                # the final hop into the sink does not constrain strength
-                path_strength = (
-                    strength[node]
-                    if neighbour == sink
-                    else min(strength[node], weight)
-                )
-                if path_strength > strength.get(neighbour, -1.0):
-                    strength[neighbour] = path_strength
-    value = strength.get(sink, 0.0)
-    return 0.0 if value == float("inf") else value
+        rows, cols, weights = _gather_edges(indptr, indices, data, levels[depth])
+        usable = (
+            on_path[cols]
+            & (depth_from_source[cols] == depth + 1)
+            & (strength[rows] >= 0.0)
+        )
+        rows, cols, weights = rows[usable], cols[usable], weights[usable]
+        # the final hop into the sink does not constrain strength
+        path_strength = np.where(
+            cols == snk, strength[rows], np.minimum(strength[rows], weights)
+        )
+        np.maximum.at(strength, cols, path_strength)
+    value = strength[snk]
+    return 0.0 if value in (np.inf, -1.0) else float(value)

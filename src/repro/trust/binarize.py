@@ -55,8 +55,10 @@ def binarize_top_k(
 
     For user *i* with ``n_i`` stored entries, the ``round(k_i * n_i)``
     highest-valued entries become 1; everything else is dropped.  Ties at
-    the cut are resolved in favour of earlier-stored entries (stable), the
-    way a site would cut a ranked list.
+    the cut are resolved in favour of earlier axis positions (stable), the
+    way a site would cut a ranked list: rows iterate in canonical
+    row-major order, so equal matrices always binarise identically
+    regardless of the order their entries were stored in.
 
     Parameters
     ----------

@@ -79,14 +79,12 @@ class TrustDeriver:
             block_rows = active_rows[start : start + self.block_size]
             weights = a_values[block_rows, :] / row_sums[block_rows, None]
             block = weights @ e_transposed  # block x U
-            for local, i in enumerate(block_rows):
-                values = block[local]
-                targets = np.nonzero(values > self.min_value)[0]
-                source = users.label(int(i))
-                for j in targets:
-                    if not self.include_self and int(j) == int(i):
-                        continue
-                    result.set(source, users.label(int(j)), float(values[j]))
+            mask = block > self.min_value
+            if not self.include_self:
+                mask[np.arange(block_rows.size), block_rows] = False
+            local, cols = np.nonzero(mask)
+            if local.size:
+                result.set_block(block_rows[local], cols, block[local, cols])
         return result
 
     def derive_for_pairs(
@@ -108,16 +106,24 @@ class TrustDeriver:
         row_sums = a_values.sum(axis=1)
 
         result = UserPairMatrix(users)
-        for source, target in pairs:
-            i = users.position(source)
-            j = users.position(target)
-            if not self.include_self and i == j:
-                continue
-            if row_sums[i] <= 0.0:
-                value = 0.0
-            else:
-                value = float(a_values[i] @ e_values[j] / row_sums[i])
-            result.set(source, target, value)
+        pair_list = list(pairs)
+        if not pair_list:
+            return result
+        sources = users.positions(s for s, _ in pair_list)
+        targets = users.positions(t for _, t in pair_list)
+        if not self.include_self:
+            off_diagonal = sources != targets
+            sources, targets = sources[off_diagonal], targets[off_diagonal]
+        if not sources.size:
+            return result
+        # gathered-row dot products: one einsum over the whole support set
+        numerators = np.einsum("kc,kc->k", a_values[sources], e_values[targets])
+        denominators = row_sums[sources]
+        active = denominators > 0.0
+        values = np.where(
+            active, numerators / np.where(active, denominators, 1.0), 0.0
+        )
+        result.set_block(sources, targets, values)
         return result
 
 

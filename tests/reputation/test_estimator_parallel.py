@@ -1,0 +1,51 @@
+"""Tests for the parallel / warm-started Step-1 estimator options."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datasets import CommunityProfile, generate_community
+from repro.reputation import ExpertiseEstimator
+
+
+@pytest.fixture(scope="module")
+def community():
+    return generate_community(CommunityProfile(num_users=80), seed=3).community
+
+
+class TestParallelSolve:
+    def test_n_jobs_matches_serial(self, community):
+        serial = ExpertiseEstimator().fit(community)
+        parallel = ExpertiseEstimator(n_jobs=4).fit(community)
+        assert parallel.expertise == serial.expertise
+        assert parallel.rater_reputation == serial.rater_reputation
+        assert parallel.iterations() == serial.iterations()
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            ExpertiseEstimator(n_jobs=0)
+
+
+class TestWarmStart:
+    def test_reuse_warm_start_converges_to_same_fixed_point(self, community):
+        cold = ExpertiseEstimator().fit(community)
+        warm = ExpertiseEstimator(reuse_warm_start=True).fit(community)
+        for user in community.user_ids()[:20]:
+            for category in community.category_ids():
+                assert warm.expertise.get(user, category) == pytest.approx(
+                    cold.expertise.get(user, category), abs=1e-6
+                )
+
+    def test_explicit_warm_start_cuts_iterations(self, community):
+        cold = ExpertiseEstimator().fit(community)
+        previous = {
+            rater: value
+            for fp in cold.fixed_points.values()
+            for rater, value in fp.rater_reputation.items()
+        }
+        warm = ExpertiseEstimator().fit(community, warm_start=previous)
+        assert sum(warm.iterations().values()) <= sum(cold.iterations().values())
+        for category in community.category_ids():
+            for rater, value in cold.fixed_points[category].rater_reputation.items():
+                assert warm.fixed_points[category].rater_reputation[
+                    rater
+                ] == pytest.approx(value, abs=1e-6)
