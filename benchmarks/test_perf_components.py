@@ -89,9 +89,11 @@ def test_bench_emitter_quick_mode(tmp_path):
     document = run_kernel_bench(num_users=120, quick=True, out_path=str(out))
     assert out.exists()
     assert document["derive_matrices_identical"]
+    assert document["step1_matrices_identical"]
     assert set(document["kernels"]) == {
         "derive",
         "step1_fit",
+        "step1_fit_batched",
         "propagation_eigentrust",
     }
 

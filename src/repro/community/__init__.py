@@ -14,6 +14,7 @@ The community is backed by :class:`repro.store.Database`, so all referential
 integrity is checked at insert time.
 """
 
+from repro.community.columnar import CommunityColumns
 from repro.community.community import Community
 from repro.community.model import (
     HELPFULNESS_SCALE,
@@ -27,6 +28,7 @@ from repro.community.model import (
 
 __all__ = [
     "Community",
+    "CommunityColumns",
     "User",
     "Category",
     "ReviewedObject",

@@ -1,0 +1,343 @@
+"""Cached columnar view of a community's reviews and ratings.
+
+The paper's hot paths (eqs. 1-4, the relation ``R``) consume ratings over
+and over; materialising them as per-row Python dicts on every call is what
+kept the Step-1 fit slow after the kernel layer landed.  This module holds
+the remedy: one pass over the store encodes every review and rating into
+integer-coded numpy columns, and every consumer afterwards works on those
+arrays.
+
+Layout
+------
+Reviews live on a **category-major global axis**: all reviews of category 0
+first (in insertion order), then category 1, and so on.  Ratings are kept
+twice -- once in community insertion order (for order-sensitive consumers
+such as :meth:`CommunityColumns.direct_connections`) and once category-major
+(``srt_*``), so a category's ratings are one contiguous slice.  Within a
+category both views preserve insertion order, which keeps every accumulation
+bitwise identical to the row-scan code it replaces.
+
+The view is immutable; :meth:`repro.community.Community.columns` caches one
+per community version and rebuilds it after any mutation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.matrix.labels import LabelIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.community.community import Community
+
+__all__ = ["CommunityColumns"]
+
+
+class CommunityColumns:
+    """Integer-coded columnar snapshot of one community version.
+
+    Attributes
+    ----------
+    users, categories:
+        The axes every index column refers to (registration order).
+    review_ids:
+        Global review axis labels, category-major.
+    review_writer_idx, review_category_idx:
+        Per-review writer / category positions (``review_category_idx`` is
+        nondecreasing by construction).
+    review_cat_starts:
+        ``(C + 1,)`` boundaries of each category's slice of the review axis.
+    rater_idx, rating_review_idx, rating_category_idx, rating_values:
+        Per-rating columns in community insertion order
+        (``rating_review_idx`` points into the global review axis).
+    srt_rater_idx, srt_review_idx, srt_values:
+        The same ratings category-major (insertion order within a category).
+    rating_cat_starts:
+        ``(C + 1,)`` boundaries of each category's slice of the ``srt_*``
+        columns.
+    """
+
+    __slots__ = (
+        "users",
+        "categories",
+        "review_ids",
+        "review_writer_idx",
+        "review_category_idx",
+        "review_cat_starts",
+        "rater_idx",
+        "rating_review_idx",
+        "rating_category_idx",
+        "rating_values",
+        "srt_rater_idx",
+        "srt_review_idx",
+        "srt_values",
+        "rating_cat_starts",
+        "_writing_counts",
+        "_rating_counts",
+        "_pair_groups",
+    )
+
+    def __init__(
+        self,
+        *,
+        users: LabelIndex,
+        categories: LabelIndex,
+        review_ids: tuple[str, ...],
+        review_writer_idx: np.ndarray,
+        review_category_idx: np.ndarray,
+        rater_idx: np.ndarray,
+        rating_review_idx: np.ndarray,
+        rating_values: np.ndarray,
+    ):
+        self.users = users
+        self.categories = categories
+        self.review_ids = review_ids
+        self.review_writer_idx = review_writer_idx
+        self.review_category_idx = review_category_idx
+        self.rater_idx = rater_idx
+        self.rating_review_idx = rating_review_idx
+        self.rating_values = rating_values
+        self.rating_category_idx = (
+            review_category_idx[rating_review_idx]
+            if len(rating_review_idx)
+            else np.empty(0, dtype=np.int64)
+        )
+
+        num_categories = len(categories)
+        self.review_cat_starts = np.searchsorted(
+            review_category_idx, np.arange(num_categories + 1)
+        )
+        order = np.argsort(self.rating_category_idx, kind="stable")
+        self.srt_rater_idx = rater_idx[order]
+        self.srt_review_idx = rating_review_idx[order]
+        self.srt_values = rating_values[order]
+        self.rating_cat_starts = np.searchsorted(
+            self.rating_category_idx[order], np.arange(num_categories + 1)
+        )
+        self._writing_counts: np.ndarray | None = None
+        self._rating_counts: np.ndarray | None = None
+        self._pair_groups: tuple | None = None
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def from_community(cls, community: "Community") -> "CommunityColumns":
+        """Encode ``community`` into columns (one pass per table)."""
+        users = LabelIndex(community.user_ids())
+        categories = LabelIndex(community.category_ids())
+        upos = users._positions  # bulk dict lookups, avoids per-call method cost
+        cpos = categories._positions
+
+        review_rows = list(community.database.table("reviews")._rows.values())
+        num_reviews = len(review_rows)
+        writer_idx = np.fromiter(
+            (upos[row["writer_id"]] for row in review_rows),
+            dtype=np.int64,
+            count=num_reviews,
+        )
+        category_idx = np.fromiter(
+            (cpos[row["category_id"]] for row in review_rows),
+            dtype=np.int64,
+            count=num_reviews,
+        )
+        order = np.argsort(category_idx, kind="stable")
+        review_ids = tuple(review_rows[int(i)]["review_id"] for i in order)
+        new_pos = {rid: pos for pos, rid in enumerate(review_ids)}
+
+        rating_rows = list(community.database.table("ratings")._rows.values())
+        num_ratings = len(rating_rows)
+        rater_idx = np.fromiter(
+            (upos[row["rater_id"]] for row in rating_rows),
+            dtype=np.int64,
+            count=num_ratings,
+        )
+        rating_review_idx = np.fromiter(
+            (new_pos[row["review_id"]] for row in rating_rows),
+            dtype=np.int64,
+            count=num_ratings,
+        )
+        values = np.fromiter(
+            (row["value"] for row in rating_rows), dtype=np.float64, count=num_ratings
+        )
+        return cls(
+            users=users,
+            categories=categories,
+            review_ids=review_ids,
+            review_writer_idx=writer_idx[order],
+            review_category_idx=category_idx[order],
+            rater_idx=rater_idx,
+            rating_review_idx=rating_review_idx,
+            rating_values=values,
+        )
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def num_reviews(self) -> int:
+        """Number of reviews on the global axis."""
+        return len(self.review_ids)
+
+    @property
+    def num_ratings(self) -> int:
+        """Number of ratings."""
+        return len(self.rating_values)
+
+    def reviews_slice(self, category_id: str) -> slice:
+        """Slice of the review axis holding ``category_id``'s reviews."""
+        c = self.categories.position(category_id)
+        return slice(int(self.review_cat_starts[c]), int(self.review_cat_starts[c + 1]))
+
+    def ratings_slice(self, category_id: str) -> slice:
+        """Slice of the ``srt_*`` columns holding ``category_id``'s ratings."""
+        c = self.categories.position(category_id)
+        return slice(int(self.rating_cat_starts[c]), int(self.rating_cat_starts[c + 1]))
+
+    # ------------------------------------------------------------------ readers
+
+    def rating_triples(self, category_id: str) -> list[tuple[str, str, float]]:
+        """``(rater_id, review_id, value)`` triples, insertion order."""
+        sl = self.ratings_slice(category_id)
+        ulabels = self.users.labels
+        rlabels = self.review_ids
+        return [
+            (ulabels[i], rlabels[j], v)
+            for i, j, v in zip(
+                self.srt_rater_idx[sl].tolist(),
+                self.srt_review_idx[sl].tolist(),
+                self.srt_values[sl].tolist(),
+            )
+        ]
+
+    def writing_counts_matrix(self) -> np.ndarray:
+        """``(U, C)`` reviews written per (user, category) -- eq. 4's ``a^w``."""
+        if self._writing_counts is None:
+            num_cells = len(self.users) * len(self.categories)
+            keys = self.review_writer_idx * len(self.categories) + self.review_category_idx
+            self._writing_counts = np.bincount(keys, minlength=num_cells).reshape(
+                len(self.users), len(self.categories)
+            )
+        return self._writing_counts
+
+    def rating_counts_matrix(self) -> np.ndarray:
+        """``(U, C)`` ratings given per (user, category) -- eq. 4's ``a^r``."""
+        if self._rating_counts is None:
+            num_cells = len(self.users) * len(self.categories)
+            keys = self.rater_idx * len(self.categories) + self.rating_category_idx
+            self._rating_counts = np.bincount(keys, minlength=num_cells).reshape(
+                len(self.users), len(self.categories)
+            )
+        return self._rating_counts
+
+    def writing_counts(self, category_id: str) -> dict[str, int]:
+        """Per-writer review count in one category, first-seen order."""
+        sl = self.reviews_slice(category_id)
+        writers = self.review_writer_idx[sl]
+        uniq, first, counts = np.unique(writers, return_index=True, return_counts=True)
+        order = np.argsort(first, kind="stable")
+        labels = self.users.labels
+        return {labels[int(uniq[i])]: int(counts[i]) for i in order}
+
+    def rating_counts(self, category_id: str) -> dict[str, int]:
+        """Per-rater rating count in one category, first-seen order."""
+        sl = self.ratings_slice(category_id)
+        raters = self.srt_rater_idx[sl]
+        uniq, first, counts = np.unique(raters, return_index=True, return_counts=True)
+        order = np.argsort(first, kind="stable")
+        labels = self.users.labels
+        return {labels[int(uniq[i])]: int(counts[i]) for i in order}
+
+    # ------------------------------------------------------ pairwise relation R
+
+    def _grouped_pairs(self) -> tuple:
+        """Ratings grouped by (rater, writer) pair.
+
+        Returns ``(pair_rater_idx, pair_writer_idx, starts, counts, sums,
+        order, first_seen)`` where ``order`` permutes the insertion-order
+        rating columns so each pair's ratings are contiguous (insertion
+        order within a pair) and ``starts``/``counts`` delimit the groups.
+        """
+        if self._pair_groups is None:
+            writer_per_rating = (
+                self.review_writer_idx[self.rating_review_idx]
+                if len(self.rating_review_idx)
+                else np.empty(0, dtype=np.int64)
+            )
+            keys = self.rater_idx * len(self.users) + writer_per_rating
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            if len(sorted_keys):
+                boundary = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+                starts = np.flatnonzero(boundary)
+                counts = np.diff(np.r_[starts, len(sorted_keys)])
+                # bincount accumulates strictly left-to-right, so each
+                # pair's sum is bitwise what Python's sum() over its
+                # insertion-order values produces (reduceat would differ
+                # by an ulp on long groups via pairwise summation)
+                group = np.cumsum(boundary) - 1
+                sums = np.bincount(
+                    group, weights=self.rating_values[order], minlength=len(starts)
+                )
+            else:
+                starts = np.empty(0, dtype=np.int64)
+                counts = np.empty(0, dtype=np.int64)
+                sums = np.empty(0, dtype=np.float64)
+            unique_keys = sorted_keys[starts] if len(sorted_keys) else sorted_keys
+            n = max(len(self.users), 1)
+            self._pair_groups = (
+                unique_keys // n,
+                unique_keys % n,
+                starts,
+                counts,
+                sums,
+                order,
+                order[starts] if len(sorted_keys) else starts,
+            )
+        return self._pair_groups
+
+    def direct_connection_arrays(
+        self, *, include_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Unique ``(rater, writer)`` pairs of ``R`` as position arrays.
+
+        Returns ``(rater_pos, writer_pos, counts, means)``; self-pairs are
+        dropped unless ``include_self`` (they carry no trust signal).
+        """
+        rater, writer, _starts, counts, sums, _order, _first = self._grouped_pairs()
+        means = sums / np.maximum(counts, 1)
+        if not include_self and len(rater):
+            keep = rater != writer
+            return rater[keep], writer[keep], counts[keep], means[keep]
+        return rater, writer, counts.copy(), means
+
+    def direct_connections(self) -> dict[tuple[str, str], list[float]]:
+        """The relation ``R`` with per-pair rating value lists attached.
+
+        Pairs appear in first-seen order and each value list in insertion
+        order, matching the row-scan implementation this replaces.
+        """
+        rater, writer, starts, counts, _sums, order, first = self._grouped_pairs()
+        values = self.rating_values[order]
+        labels = self.users.labels
+        pairs: dict[tuple[str, str], list[float]] = {}
+        for g in np.argsort(first, kind="stable"):
+            start = int(starts[g])
+            pairs[(labels[int(rater[g])], labels[int(writer[g])])] = values[
+                start : start + int(counts[g])
+            ].tolist()
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommunityColumns(users={len(self.users)}, "
+            f"categories={len(self.categories)}, reviews={self.num_reviews}, "
+            f"ratings={self.num_ratings})"
+        )
+
+
+def require_known_category(columns: CommunityColumns, category_id: str) -> None:
+    """Raise :class:`ValidationError` when ``category_id`` is off-axis."""
+    if category_id not in columns.categories:
+        raise ValidationError(f"unknown category {category_id!r}")

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.common.errors import IntegrityError, ValidationError
+from repro.community.columnar import CommunityColumns
 from repro.community.model import (
     Category,
     Review,
@@ -129,14 +130,26 @@ class Community:
     def __init__(self, name: str = "community"):
         self._db = _build_database(name)
         self.name = name
+        self._version = 0
+        self._columns: CommunityColumns | None = None
+        self._columns_key: tuple | None = None
 
     # ------------------------------------------------------------------ writes
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every successful ``add_*`` call."""
+        return self._version
+
+    def _mutated(self) -> None:
+        self._version += 1
 
     def add_user(self, user: User | str, name: str = "") -> User:
         """Register a user (accepts a :class:`User` or a bare id)."""
         if isinstance(user, str):
             user = User(user_id=user, name=name)
         self._db.insert("users", {"user_id": user.user_id, "name": user.name})
+        self._mutated()
         return user
 
     def add_category(self, category: Category | str, name: str = "") -> Category:
@@ -146,6 +159,7 @@ class Community:
         self._db.insert(
             "categories", {"category_id": category.category_id, "name": category.name}
         )
+        self._mutated()
         return category
 
     def add_object(self, obj: ReviewedObject) -> ReviewedObject:
@@ -158,6 +172,7 @@ class Community:
                 "title": obj.title,
             },
         )
+        self._mutated()
         return obj
 
     def add_review(self, review: Review) -> Review:
@@ -179,6 +194,7 @@ class Community:
                 "category_id": obj["category_id"],
             },
         )
+        self._mutated()
         return review
 
     def add_rating(self, rating: ReviewRating) -> ReviewRating:
@@ -203,6 +219,7 @@ class Community:
                 "value": rating.value,
             },
         )
+        self._mutated()
         return rating
 
     def add_trust(self, statement: TrustStatement) -> TrustStatement:
@@ -211,6 +228,7 @@ class Community:
             "trust",
             {"truster_id": statement.truster_id, "trustee_id": statement.trustee_id},
         )
+        self._mutated()
         return statement
 
     # ------------------------------------------------------------------ reads
@@ -219,6 +237,25 @@ class Community:
     def database(self) -> Database:
         """The underlying store (read access for diagnostics and tests)."""
         return self._db
+
+    def columns(self) -> CommunityColumns:
+        """The cached columnar view of this community's reviews and ratings.
+
+        Built once per community version (every ``add_*`` call invalidates
+        it); the cache key also folds in raw row counts, so bulk loads that
+        insert through :attr:`database` directly are caught too.
+        """
+        key = (
+            self._version,
+            len(self._db.table("users")),
+            len(self._db.table("categories")),
+            len(self._db.table("reviews")),
+            len(self._db.table("ratings")),
+        )
+        if self._columns is None or self._columns_key != key:
+            self._columns = CommunityColumns.from_community(self)
+            self._columns_key = key
+        return self._columns
 
     def user_ids(self) -> list[str]:
         """All user ids, in registration order."""
@@ -317,18 +354,12 @@ class Community:
     def writing_counts(self, category_id: str) -> dict[str, int]:
         """``a^w``: reviews written per user in ``category_id`` (eq. 4)."""
         self._require_category(category_id)
-        counts: dict[str, int] = {}
-        for row in self._db.table("reviews").find(category_id=category_id):
-            counts[row["writer_id"]] = counts.get(row["writer_id"], 0) + 1
-        return counts
+        return self.columns().writing_counts(category_id)
 
     def rating_counts(self, category_id: str) -> dict[str, int]:
         """``a^r``: review ratings given per user in ``category_id`` (eq. 4)."""
         self._require_category(category_id)
-        counts: dict[str, int] = {}
-        for row in self._db.table("ratings").find(category_id=category_id):
-            counts[row["rater_id"]] = counts.get(row["rater_id"], 0) + 1
-        return counts
+        return self.columns().rating_counts(category_id)
 
     def rating_triples(self, category_id: str) -> list[tuple[str, str, float]]:
         """``(rater_id, review_id, value)`` triples given in ``category_id``.
@@ -337,10 +368,7 @@ class Community:
         consumes (paper eqs. 1-2 operate per category).
         """
         self._require_category(category_id)
-        return [
-            (row["rater_id"], row["review_id"], row["value"])
-            for row in self._db.table("ratings").find(category_id=category_id)
-        ]
+        return self.columns().rating_triples(category_id)
 
     def trust_edges(self) -> list[tuple[str, str]]:
         """All explicit trust statements as ``(truster, trustee)`` pairs."""
@@ -384,15 +412,7 @@ class Community:
         reviews of j]``.  ``R_ij = 1`` in the paper iff the pair is present.
         The baseline ``B_ij`` is the mean of the value list.
         """
-        writer_of: dict[str, str] = {
-            row["review_id"]: row["writer_id"]
-            for row in self._db.table("reviews").rows()
-        }
-        pairs: dict[tuple[str, str], list[float]] = {}
-        for row in self._db.table("ratings").rows():
-            writer = writer_of[row["review_id"]]
-            pairs.setdefault((row["rater_id"], writer), []).append(row["value"])
-        return pairs
+        return self.columns().direct_connections()
 
     # ------------------------------------------------------------------ bulk
 

@@ -21,8 +21,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common.errors import ValidationError
 from repro.common.validation import require_positive
 from repro.experiments.pipeline import PipelineArtifacts
+from repro.metrics import spearman_rank_correlation, top_k_overlap
 from repro.propagation import appleseed, eigen_trust
 from repro.reporting import format_float, render_table
 
@@ -66,16 +68,20 @@ def run_propagation_comparison(
     # no digraph round-trip
     explicit_web = artifacts.ground_truth
     derived_web = artifacts.derived_binary
+    if explicit_web.users != derived_web.users:
+        raise ValidationError(
+            "explicit and derived webs must share the same user axis"
+        )
 
-    explicit_scores = eigen_trust(explicit_web)
-    derived_scores = eigen_trust(derived_web)
-    users = list(artifacts.ground_truth.users)
-    explicit_vector = np.array([explicit_scores.get(u, 0.0) for u in users])
-    derived_vector = np.array([derived_scores.get(u, 0.0) for u in users])
-    eigen_corr = _spearman(explicit_vector, derived_vector)
-    eigen_overlap = _top_k_overlap(explicit_scores, derived_scores, top_k)
+    # both score vectors live on the shared user axis, so the ranking
+    # metrics consume them directly -- no dict round-trip
+    explicit_vector = eigen_trust(explicit_web).scores_array()
+    derived_vector = eigen_trust(derived_web).scores_array()
+    eigen_corr = spearman_rank_correlation(explicit_vector, derived_vector)
+    eigen_overlap = top_k_overlap(explicit_vector, derived_vector, top_k)
 
     # Appleseed from sources with explicit out-edges in both webs
+    users = list(explicit_web.users)
     candidates = [
         u
         for u in users
@@ -92,13 +98,17 @@ def run_propagation_comparison(
     for source in chosen:
         explicit_ranks = appleseed(explicit_web, source)
         derived_ranks = appleseed(derived_web, source)
-        shared = sorted((set(explicit_ranks) | set(derived_ranks)) - {source})
-        if len(shared) < 3:
+        # restrict to nodes either propagation reached, minus the source
+        # (it keeps rank 0 by construction on both sides)
+        reached = explicit_ranks.present_mask() | derived_ranks.present_mask()
+        shared = reached.copy()
+        shared[explicit_ranks.users.position(source)] = False
+        if int(shared.sum()) < 3:
             continue
-        a = np.array([explicit_ranks.get(u, 0.0) for u in shared])
-        b = np.array([derived_ranks.get(u, 0.0) for u in shared])
-        correlations.append(_spearman(a, b))
-        overlaps.append(_top_k_overlap(explicit_ranks, derived_ranks, top_k))
+        a = explicit_ranks.scores_array()
+        b = derived_ranks.scores_array()
+        correlations.append(spearman_rank_correlation(a[shared], b[shared]))
+        overlaps.append(top_k_overlap(a[reached], b[reached], top_k))
 
     return PropagationComparison(
         eigentrust_rank_correlation=eigen_corr,
@@ -134,35 +144,3 @@ def render_propagation_comparison(result: PropagationComparison) -> str:
     )
 
 
-def _spearman(a: np.ndarray, b: np.ndarray) -> float:
-    """Spearman rank correlation (0 when either side is constant)."""
-    if len(a) < 2 or np.all(a == a[0]) or np.all(b == b[0]):
-        return 0.0
-    ranks_a = _average_ranks(a)
-    ranks_b = _average_ranks(b)
-    corr = np.corrcoef(ranks_a, ranks_b)[0, 1]
-    return float(corr) if np.isfinite(corr) else 0.0
-
-
-def _average_ranks(values: np.ndarray) -> np.ndarray:
-    order = np.argsort(values, kind="mergesort")
-    ranks = np.empty(len(values))
-    ranks[order] = np.arange(1, len(values) + 1)
-    sorted_vals = values[order]
-    start = 0
-    for i in range(1, len(sorted_vals) + 1):
-        if i == len(sorted_vals) or sorted_vals[i] != sorted_vals[start]:
-            if i - start > 1:
-                ranks[order[start:i]] = ranks[order[start:i]].mean()
-            start = i
-    return ranks
-
-
-def _top_k_overlap(
-    scores_a: dict[str, float], scores_b: dict[str, float], k: int
-) -> float:
-    top_a = set(sorted(scores_a, key=lambda u: -scores_a[u])[:k])
-    top_b = set(sorted(scores_b, key=lambda u: -scores_b[u])[:k])
-    if not top_a or not top_b:
-        return 0.0
-    return len(top_a & top_b) / min(len(top_a), len(top_b), k)

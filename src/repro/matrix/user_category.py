@@ -91,6 +91,38 @@ class UserCategoryMatrix:
                 raise ValidationError("user-category values must lie in [0, 1]")
         self._values[rows, self.categories.position(category_id)] = values
 
+    def set_entries(
+        self,
+        user_positions: np.ndarray | Iterable[int],
+        category_positions: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[float],
+    ) -> None:
+        """Bulk-set many ``(user, category)`` cells by axis position.
+
+        The scatter counterpart of :meth:`set_column` for callers that
+        already hold integer indices (e.g. the columnar Step-1 assembly):
+        ``values[k]`` is stored at ``(user_positions[k],
+        category_positions[k])``.  All values must lie in ``[0, 1]``.
+        """
+        rows = np.asarray(user_positions, dtype=np.int64)
+        cols = np.asarray(category_positions, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if rows.shape != cols.shape or rows.shape != values.shape:
+            raise ValidationError(
+                f"positions and values must be equal-length, got shapes "
+                f"{rows.shape}, {cols.shape} and {values.shape}"
+            )
+        if values.size:
+            if rows.min() < 0 or rows.max() >= len(self.users):
+                raise ValidationError("user positions out of range")
+            if cols.min() < 0 or cols.max() >= len(self.categories):
+                raise ValidationError("category positions out of range")
+            if np.isnan(values).any():
+                raise ValidationError("user-category values must not contain NaN")
+            if values.min() < -1e-12 or values.max() > 1 + 1e-12:
+                raise ValidationError("user-category values must lie in [0, 1]")
+        self._values[rows, cols] = values
+
     def user_row(self, user_id: str) -> np.ndarray:
         """Copy of the row for ``user_id`` (length ``C``)."""
         return self._values[self.users.position(user_id), :].copy()

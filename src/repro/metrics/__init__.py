@@ -11,7 +11,9 @@
 - :func:`score_gap_analysis` -- §IV.C's comparison of predicted trust
   values on ``R ∩ T`` vs ``R - T``;
 - :func:`ranking_auc` / :func:`precision_at_k` -- threshold-free extension
-  metrics used by the ablation experiments.
+  metrics used by the ablation experiments;
+- :func:`spearman_rank_correlation` / :func:`top_k_overlap` -- vector
+  agreement metrics for comparing propagation score vectors.
 """
 
 from repro.metrics.confusion import TrustValidationMetrics, validate_trust
@@ -21,7 +23,12 @@ from repro.metrics.quartiles import (
     QuartileReport,
     quartile_distribution,
 )
-from repro.metrics.ranking import precision_at_k, ranking_auc
+from repro.metrics.ranking import (
+    precision_at_k,
+    ranking_auc,
+    spearman_rank_correlation,
+    top_k_overlap,
+)
 from repro.metrics.score_gap import ScoreGapReport, score_gap_analysis
 
 __all__ = [
@@ -36,4 +43,6 @@ __all__ = [
     "score_gap_analysis",
     "ranking_auc",
     "precision_at_k",
+    "spearman_rank_correlation",
+    "top_k_overlap",
 ]

@@ -7,7 +7,12 @@ comparisons insensitive to the binarisation rule:
 - :func:`ranking_auc` -- probability that a random trusted pair in ``R``
   outscores a random untrusted pair in ``R``;
 - :func:`precision_at_k` -- fraction of each user's top-``k`` scored
-  connections that are truly trusted, averaged over users.
+  connections that are truly trusted, averaged over users;
+- :func:`spearman_rank_correlation` / :func:`top_k_overlap` -- agreement
+  between two aligned score vectors (e.g. propagation results over the
+  explicit vs the derived web), consumed directly from
+  :meth:`repro.propagation.PropagationScores.scores_array` with no dict
+  round-trip.
 """
 
 from __future__ import annotations
@@ -18,7 +23,12 @@ from repro.common.errors import ValidationError
 from repro.common.validation import require_positive
 from repro.matrix import UserPairMatrix
 
-__all__ = ["ranking_auc", "precision_at_k"]
+__all__ = [
+    "ranking_auc",
+    "precision_at_k",
+    "spearman_rank_correlation",
+    "top_k_overlap",
+]
 
 
 def ranking_auc(
@@ -45,18 +55,7 @@ def ranking_auc(
     pos = np.asarray(positives)
     neg = np.asarray(negatives)
     # rank-based Mann-Whitney U with tie correction
-    combined = np.concatenate([pos, neg])
-    order = np.argsort(combined, kind="mergesort")
-    ranks = np.empty(len(combined))
-    ranks[order] = np.arange(1, len(combined) + 1)
-    # average ranks over ties
-    sorted_vals = combined[order]
-    start = 0
-    for i in range(1, len(sorted_vals) + 1):
-        if i == len(sorted_vals) or sorted_vals[i] != sorted_vals[start]:
-            if i - start > 1:
-                ranks[order[start:i]] = ranks[order[start:i]].mean()
-            start = i
+    ranks = _average_ranks(np.concatenate([pos, neg]))
     u_statistic = ranks[: len(pos)].sum() - len(pos) * (len(pos) + 1) / 2
     return float(u_statistic / (len(pos) * len(neg)))
 
@@ -83,6 +82,67 @@ def precision_at_k(
         hits = sum(1 for t in ranked if ground_truth.contains(source, t))
         precisions.append(hits / len(ranked))
     return float(np.mean(precisions)) if precisions else 0.0
+
+
+def spearman_rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation of two aligned score vectors.
+
+    ``a[i]`` and ``b[i]`` must score the same item (e.g. the same user
+    axis position).  Ties get average ranks.  Returns 0 when either side
+    is constant or shorter than 2 -- a degenerate ranking carries no
+    order information to correlate.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValidationError(
+            f"score vectors must be equal-length 1-d arrays, got shapes "
+            f"{a.shape} and {b.shape}"
+        )
+    if len(a) < 2 or np.all(a == a[0]) or np.all(b == b[0]):
+        return 0.0
+    corr = np.corrcoef(_average_ranks(a), _average_ranks(b))[0, 1]
+    return float(corr) if np.isfinite(corr) else 0.0
+
+
+def top_k_overlap(a: np.ndarray, b: np.ndarray, k: int) -> float:
+    """Overlap of the top-``k`` positions of two aligned score vectors.
+
+    Each side's top ``k`` is taken by descending score with ties broken
+    by axis position (stable), matching a leaderboard cut-off.  Returns
+    ``|top_a ∩ top_b| / min(len, k)`` (0 for empty vectors).
+    """
+    require_positive("k", k)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValidationError(
+            f"score vectors must be equal-length 1-d arrays, got shapes "
+            f"{a.shape} and {b.shape}"
+        )
+    if not len(a):
+        return 0.0
+    top_a = np.argsort(-a, kind="stable")[:k]
+    top_b = np.argsort(-b, kind="stable")[:k]
+    return len(np.intersect1d(top_a, top_b)) / min(len(a), k)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties averaged, fully vectorised."""
+    order = np.argsort(values, kind="mergesort")
+    sorted_vals = values[order]
+    n = len(values)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_vals[1:] != sorted_vals[:-1]
+    group = np.cumsum(boundary) - 1
+    starts = np.nonzero(boundary)[0]
+    counts = np.diff(np.append(starts, n))
+    # the average 1-based rank of a tie group spanning sorted positions
+    # [s, s + c) is s + (c + 1) / 2
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[order] = (starts + (counts + 1) / 2.0)[group]
+    return ranks
 
 
 def _require_axis(*matrices: UserPairMatrix) -> None:

@@ -4,16 +4,22 @@ Times the vectorised hot paths against the frozen seed implementations in
 :mod:`repro.perf.reference` on a synthetic community:
 
 - **derive** -- Step 3, eq. 5 (``T-hat = W @ E.T`` materialisation);
-- **step1_fit** -- Step 1, eqs. 1-3 (per-category fixed points + assembly);
+- **step1_fit** -- Step 1, eqs. 1-3, cold: first batched fit on a fresh
+  community, including the columnar-view build;
+- **step1_fit_batched** -- Step 1 with the columnar view already cached
+  (the steady-state cost when anything else has touched the community's
+  columns first), best-of ``repeats``;
 - **propagation_eigentrust** -- one global propagation pass over ``R``.
 
 Run it as a module::
 
     python -m repro.perf.bench --users 2000 --seed 7 --out BENCH_perf.json
 
-``--quick`` shrinks the community for CI smoke runs.  The derive kernel is
-additionally checked for exact equality against the reference, so the
-speedup never comes at the cost of a changed result.
+``--quick`` shrinks the community for CI smoke runs.  The derive and
+step1 kernels are additionally checked for exact equality against the
+references, so the speedup never comes at the cost of a changed result;
+``--check`` (with ``--min-step1-speedup``) turns those checks into a
+nonzero exit status for CI.
 """
 
 from __future__ import annotations
@@ -74,8 +80,17 @@ def run_kernel_bench(
     community = dataset.community
 
     # --- Step 1: per-category fixed points + matrix assembly -------------
-    before_fit, _ = _best_of(lambda: reference_fit_expertise(community), 1)
+    before_fit, reference_fit = _best_of(lambda: reference_fit_expertise(community), 1)
+    # cold: the first fit builds the columnar view
     after_fit, fit_result = _best_of(lambda: ExpertiseEstimator().fit(community), 1)
+    # warm: the columnar view is cached, only the batched solve remains
+    before_fit_batched, _ = _best_of(lambda: reference_fit_expertise(community), repeats)
+    after_fit_batched, _ = _best_of(lambda: ExpertiseEstimator().fit(community), repeats)
+    step1_equal = (
+        fit_result.expertise == reference_fit.expertise
+        and fit_result.rater_reputation == reference_fit.rater_reputation
+        and fit_result.iterations() == reference_fit.iterations()
+    )
 
     # --- Step 3: eq. 5 derivation ---------------------------------------
     affiliation = AffinityEstimator().fit(community)
@@ -114,9 +129,11 @@ def run_kernel_bench(
         "kernels": {
             "derive": entry(before_derive, after_derive),
             "step1_fit": entry(before_fit, after_fit),
+            "step1_fit_batched": entry(before_fit_batched, after_fit_batched),
             "propagation_eigentrust": entry(before_prop, after_prop),
         },
         "derive_matrices_identical": bool(matrices_equal),
+        "step1_matrices_identical": bool(step1_equal),
     }
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
@@ -134,6 +151,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="small smoke configuration for CI"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when result equivalence or the step1 speedup "
+        "floor is lost",
+    )
+    parser.add_argument(
+        "--min-step1-speedup",
+        type=float,
+        default=1.0,
+        help="minimum accepted step1_fit speedup under --check",
+    )
     args = parser.parse_args(argv)
     document = run_kernel_bench(
         num_users=args.users,
@@ -144,6 +173,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     json.dump(document, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
+    if args.check:
+        failures = []
+        if not document["derive_matrices_identical"]:
+            failures.append("derive result differs from the reference")
+        if not document["step1_matrices_identical"]:
+            failures.append("step1 result differs from the reference")
+        step1_speedup = document["kernels"]["step1_fit"]["speedup"]
+        if step1_speedup is not None and step1_speedup < args.min_step1_speedup:
+            failures.append(
+                f"step1_fit speedup {step1_speedup} below floor "
+                f"{args.min_step1_speedup}"
+            )
+        if failures:
+            for failure in failures:
+                print(f"perf check failed: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 

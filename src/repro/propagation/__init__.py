@@ -20,6 +20,14 @@ All operate on weighted :class:`networkx.DiGraph` webs of trust (see
 from repro.propagation.appleseed import appleseed
 from repro.propagation.eigentrust import eigen_trust
 from repro.propagation.guha import GuhaWeights, guha_propagation
+from repro.propagation.scores import PropagationScores
 from repro.propagation.tidaltrust import tidal_trust
 
-__all__ = ["tidal_trust", "eigen_trust", "guha_propagation", "GuhaWeights", "appleseed"]
+__all__ = [
+    "tidal_trust",
+    "eigen_trust",
+    "guha_propagation",
+    "GuhaWeights",
+    "appleseed",
+    "PropagationScores",
+]

@@ -22,6 +22,7 @@ import numpy as np
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.validation import require_in_range, require_positive
 from repro.propagation._adjacency import TrustWeb, as_pair_matrix
+from repro.propagation.scores import PropagationScores
 
 __all__ = ["appleseed"]
 
@@ -35,7 +36,7 @@ def appleseed(
     spreading_factor: float = 0.85,
     tolerance: float = 1e-4,
     max_iterations: int = 2000,
-) -> dict[str, float]:
+) -> PropagationScores:
     """Compute Appleseed trust ranks from ``source``.
 
     Parameters
@@ -52,9 +53,11 @@ def appleseed(
 
     Returns
     -------
-    dict
-        ``{node: rank}`` for every node that received energy; the source
-        itself keeps rank 0 (it only distributes).
+    PropagationScores
+        ``{node: rank}`` over the nodes that received energy (the dense
+        vector on :meth:`~PropagationScores.scores_array` covers the whole
+        axis, zero elsewhere); the source itself keeps rank 0 (it only
+        distributes).
     """
     matrix = as_pair_matrix(web, weight_key=weight_key)
     users = matrix.users
@@ -97,8 +100,7 @@ def appleseed(
         max_flow = float(shares.max()) if shares.size else 0.0
         incoming = np.bincount(edge_cols, weights=shares, minlength=n)
         if max_flow < tolerance:
-            labels = users.labels
-            return {labels[i]: float(rank[i]) for i in np.nonzero(received)[0]}
+            return PropagationScores(users, rank, present=received)
     raise ConvergenceError(
         f"Appleseed did not converge in {max_iterations} iterations",
         iterations=max_iterations,

@@ -26,7 +26,9 @@ from scipy import sparse
 
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.validation import require_fraction, require_positive
+from repro.matrix import LabelIndex
 from repro.propagation._adjacency import TrustWeb, as_pair_matrix
+from repro.propagation.scores import PropagationScores
 
 __all__ = ["eigen_trust"]
 
@@ -39,7 +41,7 @@ def eigen_trust(
     alpha: float = 0.15,
     tolerance: float = 1e-10,
     max_iterations: int = 1000,
-) -> dict[str, float]:
+) -> PropagationScores:
     """Compute global EigenTrust values for every node.
 
     Parameters
@@ -56,8 +58,10 @@ def eigen_trust(
 
     Returns
     -------
-    dict
-        ``{node: trust}`` summing to 1 (empty graph -> empty dict).
+    PropagationScores
+        Trust per node, summing to 1; usable as a ``{node: trust}``
+        mapping, with the dense vector on :meth:`~PropagationScores.scores_array`
+        (empty graph -> empty scores).
     """
     require_fraction("alpha", alpha)
     require_positive("tolerance", tolerance)
@@ -67,7 +71,7 @@ def eigen_trust(
     users = matrix.users
     n = len(users)
     if n == 0:
-        return {}
+        return PropagationScores(LabelIndex(()), np.zeros(0))
 
     adjacency = matrix.csr()
     if adjacency.nnz and adjacency.data.size and float(adjacency.data.min()) < 0.0:
@@ -93,8 +97,7 @@ def eigen_trust(
         residual = float(np.abs(new_t - t).max())
         t = new_t
         if residual < tolerance:
-            labels = users.labels
-            return {labels[i]: float(t[i]) for i in range(n)}
+            return PropagationScores(users, t)
     raise ConvergenceError(
         f"EigenTrust did not converge in {max_iterations} iterations",
         iterations=max_iterations,

@@ -1,0 +1,112 @@
+"""Vector-native result type for the propagation models.
+
+The propagation algorithms work on the user axis of a
+:class:`repro.matrix.UserPairMatrix`, so their natural output is a dense
+score vector over that axis.  :class:`PropagationScores` keeps that vector
+(:meth:`scores_array`) for downstream numeric consumers -- the §V
+comparison experiment feeds it straight into the vectorised ranking
+metrics -- while still behaving as the ``{label: score}`` mapping the
+original API returned, so dict-shaped callers and tests keep working
+unchanged.
+
+A score can cover the whole axis (EigenTrust ranks every node) or only a
+subset (Appleseed ranks the nodes its energy reached); the subset case is
+carried as a boolean ``present`` mask over the same axis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.matrix import LabelIndex
+
+__all__ = ["PropagationScores"]
+
+
+class PropagationScores(Mapping):
+    """Dense per-user propagation scores with mapping semantics.
+
+    Parameters
+    ----------
+    users:
+        The user axis the scores are defined over.
+    values:
+        Score per axis position (length ``len(users)``).
+    present:
+        Optional boolean mask over the axis; positions where it is
+        ``False`` are absent from the mapping view (and read as 0 in
+        :meth:`scores_array`).  ``None`` means every node is present.
+    """
+
+    __slots__ = ("users", "_values", "_present")
+
+    def __init__(
+        self,
+        users: LabelIndex,
+        values: np.ndarray,
+        present: np.ndarray | None = None,
+    ):
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (len(users),):
+            raise ValidationError(
+                f"values shape {values.shape} does not match {len(users)} users"
+            )
+        if present is not None:
+            present = np.asarray(present, dtype=bool)
+            if present.shape != values.shape:
+                raise ValidationError(
+                    f"present mask shape {present.shape} does not match "
+                    f"{len(users)} users"
+                )
+            values = np.where(present, values, 0.0)
+        self.users = users
+        self._values = values
+        self._present = present
+
+    # ------------------------------------------------------------- vector view
+
+    def scores_array(self) -> np.ndarray:
+        """Copy of the score vector over the full user axis (absent = 0)."""
+        return self._values.copy()
+
+    def present_mask(self) -> np.ndarray:
+        """Boolean mask of axis positions present in the mapping view."""
+        if self._present is None:
+            return np.ones(len(self.users), dtype=bool)
+        return self._present.copy()
+
+    # ------------------------------------------------------------ mapping view
+
+    def __getitem__(self, label: str) -> float:
+        position = self.users.position(label)
+        if self._present is not None and not self._present[position]:
+            raise KeyError(label)
+        return float(self._values[position])
+
+    def __iter__(self) -> Iterator[str]:
+        labels = self.users.labels
+        if self._present is None:
+            return iter(labels)
+        return (labels[int(i)] for i in np.nonzero(self._present)[0])
+
+    def __len__(self) -> int:
+        if self._present is None:
+            return len(self.users)
+        return int(self._present.sum())
+
+    def __contains__(self, label: object) -> bool:
+        if not isinstance(label, str) or label not in self.users:
+            return False
+        if self._present is None:
+            return True
+        return bool(self._present[self.users.position(label)])
+
+    def to_dict(self) -> dict[str, float]:
+        """Materialise the mapping view as a plain dict."""
+        return {label: self[label] for label in self}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PropagationScores({len(self)} of {len(self.users)} users)"

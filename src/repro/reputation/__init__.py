@@ -19,19 +19,30 @@ Users_Category Expertise matrix ``E``.
 from repro.reputation.estimator import ExpertiseEstimator, ExpertiseResult
 from repro.reputation.incremental import IncrementalExpertise
 from repro.reputation.riggs import (
+    ArrayFixedPoint,
+    BatchedFixedPoints,
     CategoryFixedPoint,
+    LazyFixedPoints,
     RiggsConfig,
     experience_discount,
+    solve_all_categories,
     solve_category,
+    solve_category_arrays,
 )
-from repro.reputation.writer import writer_reputations
+from repro.reputation.writer import writer_reputation_matrix, writer_reputations
 
 __all__ = [
     "RiggsConfig",
     "CategoryFixedPoint",
+    "ArrayFixedPoint",
+    "BatchedFixedPoints",
+    "LazyFixedPoints",
     "solve_category",
+    "solve_category_arrays",
+    "solve_all_categories",
     "experience_discount",
     "writer_reputations",
+    "writer_reputation_matrix",
     "ExpertiseEstimator",
     "ExpertiseResult",
     "IncrementalExpertise",

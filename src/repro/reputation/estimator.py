@@ -9,12 +9,14 @@ writer aggregation for every category of a community and assembles:
   Table 2 evaluates;
 - per-category review qualities and convergence diagnostics.
 
-The per-category fixed points are independent, so the solve loop can run
-on a thread pool (``n_jobs``); the numpy sweeps inside
-:func:`repro.reputation.riggs.solve_category` release the GIL for the
-bulk of their work.  Matrix assembly goes through the bulk column writes
-of :class:`repro.matrix.UserCategoryMatrix` instead of per-entry ``set``
-calls.
+By default the whole Step 1 runs on the community's columnar view: one
+:func:`repro.reputation.riggs.solve_all_categories` call sweeps every
+category's fixed point simultaneously and both matrices are scattered
+straight from the slot arrays -- no per-category Python materialisation.
+The per-category fixed points stay independent, so a thread pool
+(``n_jobs > 1``) remains available for very large communities, as does
+serial warm-start chaining (``reuse_warm_start=True``); both fall back to
+per-category :func:`repro.reputation.riggs.solve_category` calls.
 """
 
 from __future__ import annotations
@@ -28,8 +30,14 @@ import numpy as np
 from repro.common.validation import require_positive
 from repro.community import Community
 from repro.matrix import LabelIndex, UserCategoryMatrix
-from repro.reputation.riggs import CategoryFixedPoint, RiggsConfig, solve_category
-from repro.reputation.writer import writer_reputations
+from repro.reputation.riggs import (
+    CategoryFixedPoint,
+    LazyFixedPoints,
+    RiggsConfig,
+    solve_all_categories,
+    solve_category,
+)
+from repro.reputation.writer import writer_reputation_matrix, writer_reputations
 
 __all__ = ["ExpertiseEstimator", "ExpertiseResult"]
 
@@ -48,12 +56,13 @@ class ExpertiseResult:
         nothing in the category.
     fixed_points:
         The raw per-category solver output (qualities, reputations,
-        iteration counts).
+        iteration counts).  A mapping; the batched path supplies a lazy
+        view that materialises each category's dicts on first access.
     """
 
     expertise: UserCategoryMatrix
     rater_reputation: UserCategoryMatrix
-    fixed_points: dict[str, CategoryFixedPoint]
+    fixed_points: Mapping[str, CategoryFixedPoint]
 
     def review_quality(self, category_id: str) -> dict[str, float]:
         """Converged review qualities for one category."""
@@ -75,8 +84,8 @@ class ExpertiseEstimator:
         Passed to :func:`repro.reputation.writer.writer_reputations`.
     n_jobs:
         Number of worker threads for the per-category solves.  The default
-        ``1`` keeps the seed's serial behaviour; categories are independent
-        fixed points, so any value is numerically safe.
+        ``1`` uses the batched multi-category solver (fastest); categories
+        are independent fixed points, so any value is numerically safe.
     reuse_warm_start:
         When ``True`` (serial mode only), each category's solve is seeded
         with the rater reputations converged so far -- raters active in
@@ -120,6 +129,9 @@ class ExpertiseEstimator:
             Optional ``{rater_id: reputation}`` seed for every category's
             solve (e.g. a previous fit on a slightly older community).
         """
+        if self.n_jobs == 1 and not self.reuse_warm_start:
+            return self._fit_batched(community, warm_start)
+
         users = LabelIndex(community.user_ids())
         categories = LabelIndex(community.category_ids())
         expertise = UserCategoryMatrix(users, categories)
@@ -158,6 +170,46 @@ class ExpertiseEstimator:
 
         return ExpertiseResult(
             expertise=expertise, rater_reputation=rater_rep, fixed_points=fixed_points
+        )
+
+    def _fit_batched(
+        self,
+        community: Community,
+        warm_start: Mapping[str, float] | None,
+    ) -> ExpertiseResult:
+        """Step 1 on the columnar plane: one batched solve, array assembly.
+
+        Numerically identical to the per-category path -- the batched
+        solver's sweeps are bitwise equivalent to :func:`solve_category`
+        and both matrices are scattered from the same slot arrays.
+        """
+        columns = community.columns()
+        users = columns.users
+        categories = columns.categories
+        batch = solve_all_categories(columns, self.config, warm_start=warm_start)
+
+        rater_rep = UserCategoryMatrix(users, categories)
+        rater_rep.set_entries(
+            batch.rater_slot_user, batch.rater_slot_category_idx, batch.reputation
+        )
+        expertise = UserCategoryMatrix(
+            users,
+            categories,
+            writer_reputation_matrix(
+                columns.review_writer_idx,
+                columns.review_category_idx,
+                len(users),
+                len(categories),
+                batch.rated_review_idx,
+                batch.quality,
+                experience_discount_enabled=self.config.experience_discount_enabled,
+                unrated_policy=self.unrated_policy,
+            ),
+        )
+        return ExpertiseResult(
+            expertise=expertise,
+            rater_reputation=rater_rep,
+            fixed_points=LazyFixedPoints(batch),
         )
 
     def _solve_all(

@@ -21,6 +21,7 @@ incidence, so each sweep is O(number of ratings).
 
 from __future__ import annotations
 
+from collections.abc import Mapping as _Mapping
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -33,7 +34,17 @@ from repro.common.validation import (
     require_positive,
 )
 
-__all__ = ["RiggsConfig", "CategoryFixedPoint", "solve_category", "experience_discount"]
+__all__ = [
+    "RiggsConfig",
+    "CategoryFixedPoint",
+    "ArrayFixedPoint",
+    "BatchedFixedPoints",
+    "LazyFixedPoints",
+    "solve_category",
+    "solve_category_arrays",
+    "solve_all_categories",
+    "experience_discount",
+]
 
 
 def experience_discount(n: np.ndarray | int) -> np.ndarray | float:
@@ -284,3 +295,485 @@ def _reputation_update(
     total_dev = np.bincount(rater_idx, weights=deviations, minlength=len(counts))
     mad = total_dev / counts
     return np.clip(discount * (1.0 - mad), 0.0, 1.0)
+
+
+# ----------------------------------------------------------------- batched solver
+
+
+@dataclass(frozen=True)
+class ArrayFixedPoint:
+    """Arrays-native result of one category's fixed point.
+
+    Attributes
+    ----------
+    quality:
+        Per review slot; slots that received no ratings stay at 0.
+    reputation:
+        Per rater slot; slots with no ratings hold their stationary value
+        (0 with the experience discount, 1 without).
+    rating_counts:
+        Ratings given per rater slot.
+    iterations, residual:
+        As on :class:`CategoryFixedPoint`.
+    """
+
+    quality: np.ndarray
+    reputation: np.ndarray
+    rating_counts: np.ndarray
+    iterations: int
+    residual: float
+
+
+@dataclass(frozen=True)
+class BatchedFixedPoints:
+    """All categories' fixed points on shared flat arrays.
+
+    Slots are grouped by category: ``review_slot_cat`` / ``rater_slot_cat``
+    are nondecreasing *compact* segment indices (one per category that has
+    ratings; ``nonempty_categories`` maps them back to positions on the
+    category axis).  :meth:`fixed_point` materialises the dict form of one
+    category on demand; the arrays are the fast path for matrix assembly.
+    """
+
+    categories: tuple[str, ...]
+    users: "object"  # LabelIndex; typed loosely to keep riggs dependency-free
+    review_ids: tuple[str, ...]
+    nonempty_categories: np.ndarray
+    rated_review_idx: np.ndarray
+    quality: np.ndarray
+    review_slot_cat: np.ndarray
+    rater_slot_user: np.ndarray
+    rater_slot_cat: np.ndarray
+    reputation: np.ndarray
+    rater_counts: np.ndarray
+    iterations: np.ndarray
+    residuals: np.ndarray
+
+    @property
+    def rater_slot_category_idx(self) -> np.ndarray:
+        """Category-axis position of every rater slot."""
+        return self.nonempty_categories[self.rater_slot_cat]
+
+    @property
+    def review_slot_category_idx(self) -> np.ndarray:
+        """Category-axis position of every review slot."""
+        return self.nonempty_categories[self.review_slot_cat]
+
+    def fixed_point(self, category_id: str) -> CategoryFixedPoint:
+        """The dict-form :class:`CategoryFixedPoint` of one category."""
+        try:
+            c = self.categories.index(category_id)
+        except ValueError:
+            raise ValidationError(f"unknown category {category_id!r}") from None
+        compact = np.flatnonzero(self.nonempty_categories == c)
+        if not len(compact):
+            return CategoryFixedPoint(
+                review_quality={}, rater_reputation={}, iterations=0, residual=0.0
+            )
+        k = int(compact[0])
+        a, b = np.searchsorted(self.review_slot_cat, [k, k + 1])
+        ua, ub = np.searchsorted(self.rater_slot_cat, [k, k + 1])
+        labels = self.users.labels
+        return CategoryFixedPoint(
+            review_quality={
+                self.review_ids[g]: q
+                for g, q in zip(
+                    self.rated_review_idx[a:b].tolist(), self.quality[a:b].tolist()
+                )
+            },
+            rater_reputation={
+                labels[u]: r
+                for u, r in zip(
+                    self.rater_slot_user[ua:ub].tolist(),
+                    self.reputation[ua:ub].tolist(),
+                )
+            },
+            iterations=int(self.iterations[c]),
+            residual=float(self.residuals[c]),
+            rating_counts={
+                labels[u]: int(n)
+                for u, n in zip(
+                    self.rater_slot_user[ua:ub].tolist(),
+                    self.rater_counts[ua:ub].tolist(),
+                )
+            },
+        )
+
+    def to_dict(self) -> dict[str, CategoryFixedPoint]:
+        """Materialise every category (the estimator's ``fixed_points``)."""
+        return {category_id: self.fixed_point(category_id) for category_id in self.categories}
+
+
+class LazyFixedPoints(_Mapping):
+    """``{category_id: CategoryFixedPoint}`` view over a batched solve.
+
+    Building every category's dicts up front costs more than the batched
+    sweeps themselves on large communities, and most callers only touch
+    the matrices.  This mapping materialises a category on first access
+    and caches it, so ``result.fixed_points["movies"]`` behaves exactly
+    like the eager dict while unaccessed categories stay as arrays.
+    """
+
+    __slots__ = ("_batch", "_cache")
+
+    def __init__(self, batch: BatchedFixedPoints):
+        self._batch = batch
+        self._cache: dict[str, CategoryFixedPoint] = {}
+
+    def __getitem__(self, category_id: str) -> CategoryFixedPoint:
+        if category_id not in self._cache:
+            if category_id not in self._batch.categories:
+                raise KeyError(category_id)
+            self._cache[category_id] = self._batch.fixed_point(category_id)
+        return self._cache[category_id]
+
+    def __iter__(self):
+        return iter(self._batch.categories)
+
+    def __len__(self) -> int:
+        return len(self._batch.categories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LazyFixedPoints({len(self)} categories)"
+
+
+def solve_category_arrays(
+    rater_idx: np.ndarray,
+    review_idx: np.ndarray,
+    values: np.ndarray,
+    *,
+    num_raters: int | None = None,
+    num_reviews: int | None = None,
+    config: RiggsConfig | None = None,
+    warm_start: np.ndarray | None = None,
+) -> ArrayFixedPoint:
+    """Arrays-native :func:`solve_category`: integer slots in, arrays out.
+
+    ``rater_idx`` / ``review_idx`` are dense slot positions (``int64``) and
+    ``values`` the ratings, one entry per rating.  ``num_raters`` /
+    ``num_reviews`` widen the slot spaces beyond the maximum seen index
+    (extra slots converge to their stationary values without costing
+    sweeps).  ``warm_start`` is a per-rater-slot reputation array.
+
+    The fixed point is bitwise identical to :func:`solve_category` on the
+    label-equivalent triples.
+    """
+    cfg = config or RiggsConfig()
+    rater_idx = np.ascontiguousarray(rater_idx, dtype=np.int64)
+    review_idx = np.ascontiguousarray(review_idx, dtype=np.int64)
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    if not (len(rater_idx) == len(review_idx) == len(values)):
+        raise ValidationError("rater_idx, review_idx and values must be equal length")
+    if num_raters is None:
+        num_raters = int(rater_idx.max()) + 1 if len(rater_idx) else 0
+    if num_reviews is None:
+        num_reviews = int(review_idx.max()) + 1 if len(review_idx) else 0
+    if len(values) == 0:
+        return ArrayFixedPoint(
+            quality=np.zeros(num_reviews),
+            reputation=np.zeros(num_raters),
+            rating_counts=np.zeros(num_raters, dtype=np.int64),
+            iterations=0,
+            residual=0.0,
+        )
+    _validate_rating_arrays(rater_idx, review_idx, values, num_reviews)
+
+    reputation = np.full(num_raters, cfg.initial_reputation, dtype=np.float64)
+    if warm_start is not None:
+        warm_start = np.asarray(warm_start, dtype=np.float64)
+        if warm_start.shape != reputation.shape:
+            raise ValidationError(
+                f"warm_start shape {warm_start.shape} does not match {num_raters} raters"
+            )
+        reputation = np.clip(warm_start, 0.0, 1.0)
+
+    quality, reputation, counts, iterations, residuals = _segmented_solve(
+        rater_idx,
+        review_idx,
+        values,
+        num_rater_slots=num_raters,
+        num_review_slots=num_reviews,
+        row_cat=np.zeros(len(values), dtype=np.int64),
+        rater_slot_cat=np.zeros(num_raters, dtype=np.int64),
+        review_slot_cat=np.zeros(num_reviews, dtype=np.int64),
+        num_segments=1,
+        cfg=cfg,
+        reputation=reputation,
+    )
+    return ArrayFixedPoint(
+        quality=quality,
+        reputation=reputation,
+        rating_counts=counts,
+        iterations=int(iterations[0]),
+        residual=float(residuals[0]),
+    )
+
+
+def solve_all_categories(
+    columns,
+    config: RiggsConfig | None = None,
+    *,
+    warm_start: Mapping[str, float] | None = None,
+) -> BatchedFixedPoints:
+    """Solve eqs. 1-2 for *every* category in shared batched sweeps.
+
+    Parameters
+    ----------
+    columns:
+        A columnar ratings view -- anything shaped like
+        :class:`repro.community.CommunityColumns`: ``users`` /
+        ``categories`` label axes, a category-major global review axis
+        (``review_ids``, ``review_category_idx``) and category-major rating
+        columns (``srt_rater_idx``, ``srt_review_idx``, ``srt_values``,
+        ``rating_cat_starts``).
+    warm_start:
+        Optional ``{rater_id: reputation}`` seed applied to every
+        category's slots, exactly like :func:`solve_category`'s.
+
+    Returns
+    -------
+    BatchedFixedPoints
+        Per-slot arrays plus per-category iteration counts and residuals.
+        Every category's fixed point is bitwise identical to a standalone
+        :func:`solve_category` run: the sweeps reduce over globally
+        flattened incidence arrays whose per-category segments preserve
+        rating insertion order, and converged categories are masked out of
+        later sweeps so their values (and iteration counts) freeze exactly
+        where the standalone solver would stop.
+
+    Raises
+    ------
+    ConvergenceError
+        If any category fails to reach ``tolerance`` within
+        ``config.max_iterations`` sweeps.
+    """
+    cfg = config or RiggsConfig()
+    categories = tuple(columns.categories)
+    starts = np.asarray(columns.rating_cat_starts, dtype=np.int64)
+    rows_per_cat = np.diff(starts)
+    nonempty = np.flatnonzero(rows_per_cat > 0)
+    num_users = len(columns.users)
+    iterations = np.zeros(len(categories), dtype=np.int64)
+    residuals = np.zeros(len(categories), dtype=np.float64)
+
+    if len(nonempty) == 0:
+        return BatchedFixedPoints(
+            categories=categories,
+            users=columns.users,
+            review_ids=tuple(columns.review_ids),
+            nonempty_categories=nonempty,
+            rated_review_idx=np.empty(0, dtype=np.int64),
+            quality=np.empty(0),
+            review_slot_cat=np.empty(0, dtype=np.int64),
+            rater_slot_user=np.empty(0, dtype=np.int64),
+            rater_slot_cat=np.empty(0, dtype=np.int64),
+            reputation=np.empty(0),
+            rater_counts=np.empty(0, dtype=np.int64),
+            iterations=iterations,
+            residuals=residuals,
+        )
+
+    rater_pos = np.ascontiguousarray(columns.srt_rater_idx, dtype=np.int64)
+    review_pos = np.ascontiguousarray(columns.srt_review_idx, dtype=np.int64)
+    values = np.ascontiguousarray(columns.srt_values, dtype=np.float64)
+    _validate_rating_arrays(rater_pos, review_pos, values, len(columns.review_ids))
+
+    # compact segment index per category (nonempty categories only)
+    compact_of_cat = np.full(len(categories), -1, dtype=np.int64)
+    compact_of_cat[nonempty] = np.arange(len(nonempty))
+    row_cat = compact_of_cat[np.repeat(np.arange(len(categories)), rows_per_cat)]
+
+    # review slots: the rated subset of the (category-major) review axis
+    # (sorted-dedup instead of np.unique -- the hash-based unique kernel is
+    # several times slower than an int64 sort at this size)
+    sorted_reviews = np.sort(review_pos)
+    rated = sorted_reviews[np.r_[True, sorted_reviews[1:] != sorted_reviews[:-1]]]
+    # position of each review on the rated-slot axis, via a dense lookup
+    # table (O(1) gathers beat a binary search over every rating row)
+    slot_of_review = np.empty(len(columns.review_ids), dtype=np.int64)
+    slot_of_review[rated] = np.arange(len(rated), dtype=np.int64)
+    review_slot = slot_of_review[review_pos]
+    review_slot_cat = compact_of_cat[
+        np.asarray(columns.review_category_idx, dtype=np.int64)[rated]
+    ]
+
+    # rater slots: one per (category, rater) incidence
+    rater_keys = row_cat * np.int64(num_users) + rater_pos
+    uniq_keys, rater_slot = np.unique(rater_keys, return_inverse=True)
+    rater_slot_cat = uniq_keys // num_users
+    rater_slot_user = uniq_keys % num_users
+
+    reputation = np.full(len(uniq_keys), cfg.initial_reputation, dtype=np.float64)
+    if warm_start:
+        labels = columns.users.labels
+        for slot, user in enumerate(rater_slot_user.tolist()):
+            previous = warm_start.get(labels[user])
+            if previous is not None:
+                reputation[slot] = min(1.0, max(0.0, float(previous)))
+
+    quality, reputation, counts, seg_iterations, seg_residuals = _segmented_solve(
+        rater_slot.astype(np.int64),
+        review_slot,
+        values,
+        num_rater_slots=len(uniq_keys),
+        num_review_slots=len(rated),
+        row_cat=row_cat,
+        rater_slot_cat=rater_slot_cat,
+        review_slot_cat=review_slot_cat,
+        num_segments=len(nonempty),
+        cfg=cfg,
+        reputation=reputation,
+    )
+    iterations[nonempty] = seg_iterations
+    residuals[nonempty] = seg_residuals
+    return BatchedFixedPoints(
+        categories=categories,
+        users=columns.users,
+        review_ids=tuple(columns.review_ids),
+        nonempty_categories=nonempty,
+        rated_review_idx=rated,
+        quality=quality,
+        review_slot_cat=review_slot_cat,
+        rater_slot_user=rater_slot_user,
+        rater_slot_cat=rater_slot_cat,
+        reputation=reputation,
+        rater_counts=counts,
+        iterations=iterations,
+        residuals=residuals,
+    )
+
+
+def _validate_rating_arrays(
+    rater_idx: np.ndarray,
+    review_idx: np.ndarray,
+    values: np.ndarray,
+    num_reviews: int,
+) -> None:
+    if np.isnan(values).any() or (
+        values.size and (values.min() < 0.0 or values.max() > 1.0)
+    ):
+        raise ValidationError("rating values must lie in [0, 1]")
+    keys = np.sort(rater_idx * np.int64(max(num_reviews, 1)) + review_idx)
+    if len(keys) > 1 and bool(np.any(keys[1:] == keys[:-1])):
+        raise ValidationError("duplicate rating for a (rater, review) pair")
+
+
+def _segmented_solve(
+    rater_slot: np.ndarray,
+    review_slot: np.ndarray,
+    values: np.ndarray,
+    *,
+    num_rater_slots: int,
+    num_review_slots: int,
+    row_cat: np.ndarray,
+    rater_slot_cat: np.ndarray,
+    review_slot_cat: np.ndarray,
+    num_segments: int,
+    cfg: RiggsConfig,
+    reputation: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared sweep loop over category-segmented incidence arrays.
+
+    Every segment (category) is an independent fixed point; the sweeps run
+    them simultaneously on the flat arrays and mask converged segments out
+    so they stop updating.  Segment membership arrays must be nondecreasing
+    and each segment must own at least one rating row.
+    """
+    counts = np.bincount(rater_slot, minlength=num_rater_slots).astype(np.float64)
+    if cfg.experience_discount_enabled:
+        discount = experience_discount(counts)
+    else:
+        discount = np.ones(num_rater_slots, dtype=np.float64)
+    plain_sum = np.bincount(review_slot, weights=values, minlength=num_review_slots)
+    plain_count = np.bincount(review_slot, minlength=num_review_slots).astype(np.float64)
+    plain_mean = plain_sum / np.maximum(plain_count, 1.0)
+
+    # rater slots with no ratings (possible via explicit num_raters) start at
+    # their stationary value so they never delay convergence
+    empty_raters = counts == 0.0
+    if empty_raters.any():
+        reputation = np.where(
+            empty_raters, np.clip(discount, 0.0, 1.0), reputation
+        )
+
+    seg_starts_r = np.searchsorted(review_slot_cat, np.arange(num_segments))
+    seg_starts_u = np.searchsorted(rater_slot_cat, np.arange(num_segments))
+
+    quality = np.zeros(num_review_slots, dtype=np.float64)
+    seg_iterations = np.zeros(num_segments, dtype=np.int64)
+    seg_residuals = np.zeros(num_segments, dtype=np.float64)
+    active = np.ones(num_segments, dtype=bool)
+    all_active = True
+    rows_rater, rows_review, rows_values = rater_slot, review_slot, values
+    slot_active_r = np.ones(num_review_slots, dtype=bool)
+    slot_active_u = np.ones(num_rater_slots, dtype=bool)
+
+    for sweep in range(1, cfg.max_iterations + 1):
+        # eq. 1 on the active rows
+        if cfg.weight_by_rater_reputation:
+            weights = reputation[rows_rater]
+        else:
+            weights = np.ones_like(rows_values)
+        weighted_sum = np.bincount(
+            rows_review, weights=weights * rows_values, minlength=num_review_slots
+        )
+        weight_sum = np.bincount(rows_review, weights=weights, minlength=num_review_slots)
+        safe = weight_sum > 0.0
+        new_quality = np.where(
+            safe, np.divide(weighted_sum, np.where(safe, weight_sum, 1.0)), plain_mean
+        )
+        new_quality = np.clip(new_quality, 0.0, 1.0)
+        if not all_active:
+            new_quality = np.where(slot_active_r, new_quality, quality)
+
+        # eq. 2 on the active rows, against the fresh qualities
+        deviations = np.abs(new_quality[rows_review] - rows_values)
+        total_dev = np.bincount(
+            rows_rater, weights=deviations, minlength=num_rater_slots
+        )
+        mad = total_dev / np.maximum(counts, 1.0)
+        new_reputation = np.clip(discount * (1.0 - mad), 0.0, 1.0)
+        if cfg.damping > 0.0:
+            new_reputation = (
+                cfg.damping * reputation + (1.0 - cfg.damping) * new_reputation
+            )
+        if not all_active:
+            new_reputation = np.where(slot_active_u, new_reputation, reputation)
+        elif empty_raters.any():
+            new_reputation = np.where(empty_raters, reputation, new_reputation)
+
+        q_delta = np.abs(new_quality - quality)
+        r_delta = np.abs(new_reputation - reputation)
+        quality = new_quality
+        reputation = new_reputation
+
+        seg_res = np.maximum(
+            np.maximum.reduceat(q_delta, seg_starts_r),
+            np.maximum.reduceat(r_delta, seg_starts_u),
+        )
+        seg_iterations[active] = sweep
+        seg_residuals[active] = seg_res[active]
+        newly = active & (seg_res < cfg.tolerance)
+        if newly.any():
+            active = active & ~newly
+            if not active.any():
+                break
+            all_active = False
+            row_keep = active[row_cat]
+            rows_rater = rater_slot[row_keep]
+            rows_review = review_slot[row_keep]
+            rows_values = values[row_keep]
+            slot_active_r = active[review_slot_cat]
+            slot_active_u = active[rater_slot_cat]
+    else:
+        worst = float(seg_residuals[active].max())
+        raise ConvergenceError(
+            f"Riggs fixed point did not converge in {cfg.max_iterations} sweeps "
+            f"for {int(active.sum())} of {num_segments} categories "
+            f"(worst residual {worst:.3e} > tolerance {cfg.tolerance:.3e})",
+            iterations=cfg.max_iterations,
+            residual=worst,
+            tolerance=cfg.tolerance,
+        )
+
+    return quality, reputation, counts.astype(np.int64), seg_iterations, seg_residuals

@@ -18,7 +18,7 @@ import numpy as np
 from repro.common.errors import ValidationError
 from repro.reputation.riggs import experience_discount
 
-__all__ = ["writer_reputations"]
+__all__ = ["writer_reputations", "writer_reputation_matrix"]
 
 
 def writer_reputations(
@@ -86,3 +86,65 @@ def writer_reputations(
             factor = 1.0
         reputations[writer_id] = float(np.clip(factor * mean_quality, 0.0, 1.0))
     return reputations
+
+
+def writer_reputation_matrix(
+    review_writer_idx: np.ndarray,
+    review_category_idx: np.ndarray,
+    num_users: int,
+    num_categories: int,
+    rated_review_idx: np.ndarray,
+    rated_quality: np.ndarray,
+    *,
+    experience_discount_enabled: bool = True,
+    unrated_policy: str = "exclude",
+) -> np.ndarray:
+    """Eq. 3 for every category at once, on columnar review arrays.
+
+    Parameters
+    ----------
+    review_writer_idx, review_category_idx:
+        Writer / category position per review on the global review axis
+        (see :class:`repro.community.CommunityColumns`).
+    rated_review_idx, rated_quality:
+        Global positions of the rated reviews and their converged
+        qualities (``BatchedFixedPoints.rated_review_idx`` / ``.quality``).
+    unrated_policy:
+        As on :func:`writer_reputations`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense ``(num_users, num_categories)`` writer reputations -- the
+        values of the paper's Expertise matrix ``E``, bitwise identical to
+        the per-category dict aggregation.
+    """
+    if unrated_policy not in ("exclude", "zero", "strict"):
+        raise ValidationError(
+            f"unrated_policy must be 'exclude', 'zero' or 'strict', got {unrated_policy!r}"
+        )
+    if unrated_policy == "strict" and len(rated_review_idx) != len(review_writer_idx):
+        raise ValidationError(
+            f"{len(review_writer_idx) - len(rated_review_idx)} reviews have no "
+            "quality (unrated)"
+        )
+    num_cells = num_users * num_categories
+    rated_keys = (
+        review_writer_idx[rated_review_idx] * num_categories
+        + review_category_idx[rated_review_idx]
+    )
+    sums = np.bincount(rated_keys, weights=rated_quality, minlength=num_cells)
+    if unrated_policy == "zero":
+        all_keys = review_writer_idx * num_categories + review_category_idx
+        counts = np.bincount(all_keys, minlength=num_cells).astype(np.float64)
+    else:
+        counts = np.bincount(rated_keys, minlength=num_cells).astype(np.float64)
+    mean_quality = sums / np.maximum(counts, 1.0)
+    if experience_discount_enabled:
+        factor = experience_discount(counts)
+    else:
+        factor = np.ones(num_cells, dtype=np.float64)
+    reputations = np.where(
+        counts > 0.0, np.clip(factor * mean_quality, 0.0, 1.0), 0.0
+    )
+    return reputations.reshape(num_users, num_categories)

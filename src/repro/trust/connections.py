@@ -5,11 +5,19 @@
 - ``B`` (baseline, §IV.C): ``B_ij`` = the mean rating *i* gave to *j*'s
   reviews -- defined exactly on the support of ``R``;
 - ``T`` (ground truth): the explicit web of trust, binary.
+
+``R`` and ``B`` are assembled from the community's columnar view
+(:meth:`repro.community.Community.columns`): the unique rating pairs with
+their counts and mean values come back as position arrays and land in the
+matrix through one :meth:`repro.matrix.UserPairMatrix.set_block` call.
+The per-pair Python loop survives only for callers that supply a custom
+user axis differing from the community's own.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import ValidationError
+import numpy as np
+
 from repro.community import Community
 from repro.matrix import LabelIndex, UserPairMatrix
 
@@ -24,7 +32,12 @@ def direct_connection_matrix(
     The paper treats ``R`` as binary; the stored count is extra diagnostic
     information (any stored entry means ``R_ij = 1``).
     """
-    users = users or LabelIndex(community.user_ids())
+    columns = community.columns()
+    if users is None or users == columns.users:
+        matrix = UserPairMatrix(users if users is not None else columns.users)
+        rater, writer, counts, _means = columns.direct_connection_arrays()
+        matrix.set_block(rater, writer, counts.astype(np.float64))
+        return matrix
     matrix = UserPairMatrix(users)
     for (rater_id, writer_id), values in community.direct_connections().items():
         if rater_id == writer_id:
@@ -39,7 +52,12 @@ def baseline_matrix(community: Community, users: LabelIndex | None = None) -> Us
     ``B_ij`` is the average of all ratings user *i* gave to user *j*'s
     reviews; it exists only where ``R_ij = 1``.
     """
-    users = users or LabelIndex(community.user_ids())
+    columns = community.columns()
+    if users is None or users == columns.users:
+        matrix = UserPairMatrix(users if users is not None else columns.users)
+        rater, writer, _counts, means = columns.direct_connection_arrays()
+        matrix.set_block(rater, writer, means)
+        return matrix
     matrix = UserPairMatrix(users)
     for (rater_id, writer_id), values in community.direct_connections().items():
         if rater_id == writer_id:
@@ -52,6 +70,8 @@ def ground_truth_matrix(community: Community, users: LabelIndex | None = None) -
     """Build the explicit web of trust ``T`` (binary entries of 1.0)."""
     users = users or LabelIndex(community.user_ids())
     matrix = UserPairMatrix(users)
-    for truster_id, trustee_id in community.trust_edges():
-        matrix.set(truster_id, trustee_id, 1.0)
+    edges = community.trust_edges()
+    if edges:
+        trusters, trustees = zip(*edges)
+        matrix.set_block(users.positions(trusters), users.positions(trustees), 1.0)
     return matrix

@@ -1,0 +1,71 @@
+"""Tests for the aligned-vector agreement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.metrics import spearman_rank_correlation, top_k_overlap
+
+
+class TestSpearman:
+    def test_identical_order_is_one(self):
+        a = np.array([0.1, 0.4, 0.2, 0.9])
+        assert spearman_rank_correlation(a, a * 3.0 + 1.0) == pytest.approx(1.0)
+
+    def test_reversed_order_is_minus_one(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_side_is_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert spearman_rank_correlation(a, np.zeros(3)) == 0.0
+        assert spearman_rank_correlation(np.full(3, 7.0), a) == 0.0
+
+    def test_too_short_is_zero(self):
+        assert spearman_rank_correlation(np.array([1.0]), np.array([2.0])) == 0.0
+
+    def test_ties_get_average_ranks(self):
+        # scipy.stats.spearmanr([1, 2, 2, 3], [1, 2, 3, 4]) = 0.9486832...
+        a = np.array([1.0, 2.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, b) == pytest.approx(0.9486832980505138)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            spearman_rank_correlation(np.zeros(3), np.zeros(4))
+
+
+class TestTopKOverlap:
+    def test_identical_vectors_overlap_fully(self):
+        a = np.array([0.9, 0.1, 0.5, 0.7])
+        assert top_k_overlap(a, a.copy(), 2) == 1.0
+
+    def test_disjoint_tops(self):
+        a = np.array([1.0, 0.9, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 0.9, 1.0])
+        assert top_k_overlap(a, b, 2) == 0.0
+
+    def test_partial_overlap(self):
+        a = np.array([1.0, 0.9, 0.8, 0.0])
+        b = np.array([1.0, 0.0, 0.8, 0.9])
+        assert top_k_overlap(a, b, 3) == pytest.approx(2 / 3)
+
+    def test_k_larger_than_vector(self):
+        a = np.array([0.2, 0.1])
+        b = np.array([0.1, 0.2])
+        # both top sets are the whole axis, normalised by len not k
+        assert top_k_overlap(a, b, 10) == 1.0
+
+    def test_ties_break_by_position(self):
+        a = np.array([0.5, 0.5, 0.0])
+        b = np.array([0.5, 0.0, 0.5])
+        assert top_k_overlap(a, b, 1) == 1.0
+
+    def test_empty_vectors(self):
+        assert top_k_overlap(np.zeros(0), np.zeros(0), 3) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            top_k_overlap(np.zeros(3), np.zeros(2), 1)
+        with pytest.raises(ValidationError):
+            top_k_overlap(np.zeros(3), np.zeros(3), 0)

@@ -1,0 +1,182 @@
+"""Equivalence of the batched multi-category solver with `solve_category`.
+
+`solve_all_categories` must reproduce the per-category oracle *bitwise*:
+the category-major columnar layout preserves each category's scan order,
+so every bincount accumulation sums the same floats in the same order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConvergenceError, ValidationError
+from repro.datasets import CommunityProfile, generate_community
+from repro.matrix import LabelIndex
+from repro.reputation import (
+    RiggsConfig,
+    solve_all_categories,
+    solve_category,
+    solve_category_arrays,
+)
+
+CONFIGS = {
+    "default": RiggsConfig(),
+    "unweighted": RiggsConfig(weight_by_rater_reputation=False),
+    "no_discount": RiggsConfig(experience_discount_enabled=False),
+    "damped": RiggsConfig(damping=0.3),
+}
+
+
+def random_community(seed, num_users=80):
+    return generate_community(CommunityProfile(num_users=num_users), seed=seed).community
+
+
+def assert_fixed_points_identical(batch_fp, oracle_fp):
+    assert batch_fp.review_quality == oracle_fp.review_quality
+    assert batch_fp.rater_reputation == oracle_fp.rater_reputation
+    assert batch_fp.rating_counts == oracle_fp.rating_counts
+    assert batch_fp.iterations == oracle_fp.iterations
+    assert batch_fp.residual == oracle_fp.residual
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_oracle_bitwise(self, seed, config_name):
+        community = random_community(seed)
+        config = CONFIGS[config_name]
+        batch = solve_all_categories(community.columns(), config)
+        for category_id in community.category_ids():
+            oracle = solve_category(community.rating_triples(category_id), config)
+            assert_fixed_points_identical(batch.fixed_point(category_id), oracle)
+
+    def test_warm_start_matches_oracle(self):
+        community = random_community(5)
+        warm = {user_id: 0.5 for user_id in community.user_ids()[::2]}
+        batch = solve_all_categories(community.columns(), warm_start=warm)
+        for category_id in community.category_ids():
+            oracle = solve_category(
+                community.rating_triples(category_id), warm_start=warm
+            )
+            assert_fixed_points_identical(batch.fixed_point(category_id), oracle)
+
+    def test_to_dict_covers_every_category(self, two_category_community):
+        batch = solve_all_categories(two_category_community.columns())
+        assert list(batch.to_dict()) == ["movies", "books"]
+
+    def test_slot_arrays_align_with_dict_view(self, two_category_community):
+        batch = solve_all_categories(two_category_community.columns())
+        labels = batch.users.labels
+        by_slot = {
+            (labels[u], int(c)): r
+            for u, c, r in zip(
+                batch.rater_slot_user.tolist(),
+                batch.rater_slot_category_idx.tolist(),
+                batch.reputation.tolist(),
+            )
+        }
+        movies = list(two_category_community.columns().categories).index("movies")
+        fp = batch.fixed_point("movies")
+        for rater_id, reputation in fp.rater_reputation.items():
+            assert by_slot[(rater_id, movies)] == reputation
+
+    def test_unknown_category_rejected(self, two_category_community):
+        batch = solve_all_categories(two_category_community.columns())
+        with pytest.raises(ValidationError):
+            batch.fixed_point("gardening")
+
+
+class TestDegenerateCategories:
+    def test_empty_category_yields_empty_fixed_point(self, two_category_community):
+        two_category_community.add_category("music")  # no objects, no reviews
+        batch = solve_all_categories(two_category_community.columns())
+        fp = batch.fixed_point("music")
+        assert fp.review_quality == {}
+        assert fp.rater_reputation == {}
+        assert fp.iterations == 0
+        # the populated categories are unaffected by the empty segment
+        oracle = solve_category(two_category_community.rating_triples("movies"))
+        assert_fixed_points_identical(batch.fixed_point("movies"), oracle)
+
+    def test_singleton_category(self, two_category_community):
+        # books has a single review rated twice -- the smallest nonempty case
+        batch = solve_all_categories(two_category_community.columns())
+        oracle = solve_category(two_category_community.rating_triples("books"))
+        assert_fixed_points_identical(batch.fixed_point("books"), oracle)
+
+    def test_community_with_no_ratings(self):
+        from repro.community import Community
+
+        empty = Community.from_records(
+            name="empty",
+            users=["a", "b"],
+            categories=["movies"],
+            objects=[],
+            reviews=[],
+            ratings=[],
+            trust=[],
+        )
+        batch = solve_all_categories(empty.columns())
+        fp = batch.fixed_point("movies")
+        assert fp.review_quality == {} and fp.rater_reputation == {}
+
+
+class TestConvergenceFailure:
+    def test_raises_like_the_oracle(self):
+        community = random_community(4)
+        strict = RiggsConfig(tolerance=1e-9, max_iterations=1)
+        with pytest.raises(ConvergenceError):
+            solve_all_categories(community.columns(), strict)
+        with pytest.raises(ConvergenceError):
+            for category_id in community.category_ids():
+                solve_category(community.rating_triples(category_id), strict)
+
+
+class TestSolveCategoryArrays:
+    @staticmethod
+    def triples_to_arrays(triples):
+        raters = LabelIndex(dict.fromkeys(r for r, _, _ in triples))
+        reviews = LabelIndex(dict.fromkeys(j for _, j, _ in triples))
+        rater_idx = raters.positions([r for r, _, _ in triples])
+        review_idx = reviews.positions([j for _, j, _ in triples])
+        values = np.array([v for _, _, v in triples])
+        return raters, reviews, rater_idx, review_idx, values
+
+    def test_matches_dict_solver(self):
+        community = random_community(6)
+        for category_id in community.category_ids():
+            triples = community.rating_triples(category_id)
+            if not triples:
+                continue
+            raters, reviews, rater_idx, review_idx, values = self.triples_to_arrays(triples)
+            result = solve_category_arrays(rater_idx, review_idx, values)
+            oracle = solve_category(triples)
+            assert {
+                label: q for label, q in zip(reviews.labels, result.quality.tolist())
+            } == oracle.review_quality
+            assert {
+                label: r for label, r in zip(raters.labels, result.reputation.tolist())
+            } == oracle.rater_reputation
+            assert result.iterations == oracle.iterations
+            assert result.residual == oracle.residual
+
+    def test_empty_input(self):
+        result = solve_category_arrays(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0)
+        )
+        assert result.iterations == 0
+        assert len(result.quality) == 0 and len(result.reputation) == 0
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_category_arrays(
+                np.array([0, 0]), np.array([1, 1]), np.array([0.4, 0.8])
+            )
+
+    def test_warm_start_shape_checked(self):
+        with pytest.raises(ValidationError):
+            solve_category_arrays(
+                np.array([0]),
+                np.array([0]),
+                np.array([0.8]),
+                warm_start=np.array([0.5, 0.5]),
+            )
