@@ -1,0 +1,28 @@
+"""Static analysis of the repo's own invariants.
+
+The caching and determinism guarantees layered into the numeric core
+(version-gated :meth:`repro.community.Community.columns`, the
+:class:`repro.matrix.UserPairMatrix` CSR cache, bitwise-reproducible
+accumulation order) are enforced by convention, which a refactor can
+silently break.  This package machine-checks them:
+
+- :mod:`repro.analysis.lint` -- an AST linter with the repo-specific rule
+  catalogue R1-R5 (``python -m repro.analysis.lint src/``).
+
+The runtime counterpart lives in :mod:`repro.common.contracts`.
+
+The submodule is loaded lazily (PEP 562) so ``python -m
+repro.analysis.lint`` does not import it twice.
+"""
+
+from typing import Any
+
+__all__ = ["Finding", "RULES", "lint_paths", "lint_source"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` -- alias for the invariant linter CLI."""
+
+from repro.analysis.lint import main
+
+raise SystemExit(main())

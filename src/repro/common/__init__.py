@@ -6,6 +6,14 @@ conventions.  Higher layers (:mod:`repro.store`, :mod:`repro.community`,
 :mod:`repro.reputation`, ...) build on top of it.
 """
 
+from repro.common.arrays import AnyArray, BoolArray, FloatArray, IntArray
+from repro.common.contracts import (
+    ArraySpec,
+    ContractError,
+    array_spec,
+    checked_arrays,
+    contracts_enabled,
+)
 from repro.common.errors import (
     ConfigError,
     ConvergenceError,
@@ -33,6 +41,15 @@ from repro.common.validation import (
 )
 
 __all__ = [
+    "AnyArray",
+    "BoolArray",
+    "FloatArray",
+    "IntArray",
+    "ArraySpec",
+    "ContractError",
+    "array_spec",
+    "checked_arrays",
+    "contracts_enabled",
     "ReproError",
     "ValidationError",
     "SchemaError",

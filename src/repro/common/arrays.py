@@ -1,0 +1,30 @@
+"""Shared numpy array type aliases for the numeric core.
+
+The strict-typed packages (:mod:`repro.matrix`, :mod:`repro.community`,
+:mod:`repro.propagation`, :mod:`repro.reputation`) annotate every array
+they construct with an explicit dtype; these aliases name the three dtypes
+the kernels actually use so signatures stay readable and ``mypy --strict``
+can see through them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["FloatArray", "IntArray", "BoolArray", "AnyArray"]
+
+#: 1-D/2-D ``float64`` arrays (values, qualities, reputations, scores).
+FloatArray = npt.NDArray[np.float64]
+
+#: ``int64`` index/key arrays (axis positions, flat pair keys, counts).
+IntArray = npt.NDArray[np.int64]
+
+#: Boolean masks over an axis.
+BoolArray = npt.NDArray[np.bool_]
+
+#: Escape hatch for arrays whose dtype is produced by numpy ops that the
+#: stubs type as ``Any`` (e.g. ``np.searchsorted`` boundaries).
+AnyArray = npt.NDArray[Any]

@@ -21,12 +21,16 @@ The view is immutable; :meth:`repro.community.Community.columns` caches one
 per community version and rebuilds it after any mutation.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.common.arrays import AnyArray, FloatArray, IntArray
+from repro.common.contracts import array_spec, checked_arrays
 from repro.common.errors import ValidationError
 from repro.matrix.labels import LabelIndex
 
@@ -34,6 +38,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.community.community import Community
 
 __all__ = ["CommunityColumns"]
+
+# ratings grouped by (rater, writer) pair: (pair_rater_idx, pair_writer_idx,
+# starts, counts, sums, order, first_seen) -- see _grouped_pairs
+_PairGroups = tuple[AnyArray, AnyArray, AnyArray, AnyArray, AnyArray, AnyArray, AnyArray]
 
 
 class CommunityColumns:
@@ -80,18 +88,47 @@ class CommunityColumns:
         "_pair_groups",
     )
 
+    users: LabelIndex
+    categories: LabelIndex
+    review_ids: tuple[str, ...]
+    review_writer_idx: IntArray
+    review_category_idx: IntArray
+    review_cat_starts: IntArray
+    rater_idx: IntArray
+    rating_review_idx: IntArray
+    rating_category_idx: IntArray
+    rating_values: FloatArray
+    srt_rater_idx: IntArray
+    srt_review_idx: IntArray
+    srt_values: FloatArray
+    rating_cat_starts: IntArray
+    _writing_counts: IntArray | None
+    _rating_counts: IntArray | None
+    _pair_groups: _PairGroups | None
+
+    @checked_arrays(
+        review_writer_idx=array_spec(ndim=1, kind="i", non_negative=True, length_of="reviews"),
+        review_category_idx=array_spec(
+            ndim=1, kind="i", non_negative=True, length_of="reviews"
+        ),
+        rater_idx=array_spec(ndim=1, kind="i", non_negative=True, length_of="ratings"),
+        rating_review_idx=array_spec(
+            ndim=1, kind="i", non_negative=True, length_of="ratings"
+        ),
+        rating_values=array_spec(ndim=1, kind="f", finite=True, length_of="ratings"),
+    )
     def __init__(
         self,
         *,
         users: LabelIndex,
         categories: LabelIndex,
         review_ids: tuple[str, ...],
-        review_writer_idx: np.ndarray,
-        review_category_idx: np.ndarray,
-        rater_idx: np.ndarray,
-        rating_review_idx: np.ndarray,
-        rating_values: np.ndarray,
-    ):
+        review_writer_idx: IntArray,
+        review_category_idx: IntArray,
+        rater_idx: IntArray,
+        rating_review_idx: IntArray,
+        rating_values: FloatArray,
+    ) -> None:
         self.users = users
         self.categories = categories
         self.review_ids = review_ids
@@ -107,19 +144,38 @@ class CommunityColumns:
         )
 
         num_categories = len(categories)
-        self.review_cat_starts = np.searchsorted(
-            review_category_idx, np.arange(num_categories + 1)
+        self.review_cat_starts = np.asarray(
+            np.searchsorted(review_category_idx, np.arange(num_categories + 1)),
+            dtype=np.int64,
         )
         order = np.argsort(self.rating_category_idx, kind="stable")
         self.srt_rater_idx = rater_idx[order]
         self.srt_review_idx = rating_review_idx[order]
         self.srt_values = rating_values[order]
-        self.rating_cat_starts = np.searchsorted(
-            self.rating_category_idx[order], np.arange(num_categories + 1)
+        self.rating_cat_starts = np.asarray(
+            np.searchsorted(self.rating_category_idx[order], np.arange(num_categories + 1)),
+            dtype=np.int64,
         )
-        self._writing_counts: np.ndarray | None = None
-        self._rating_counts: np.ndarray | None = None
-        self._pair_groups: tuple | None = None
+        # the snapshot is shared through the Community.columns() cache, so
+        # every column is frozen; consumers get copies via astype / fancy
+        # indexing, never writable aliases of cached state
+        for column in (
+            self.review_writer_idx,
+            self.review_category_idx,
+            self.review_cat_starts,
+            self.rater_idx,
+            self.rating_review_idx,
+            self.rating_category_idx,
+            self.rating_values,
+            self.srt_rater_idx,
+            self.srt_review_idx,
+            self.srt_values,
+            self.rating_cat_starts,
+        ):
+            column.setflags(write=False)
+        self._writing_counts = None
+        self._rating_counts = None
+        self._pair_groups = None
 
     # ------------------------------------------------------------------ build
 
@@ -211,24 +267,36 @@ class CommunityColumns:
             )
         ]
 
-    def writing_counts_matrix(self) -> np.ndarray:
-        """``(U, C)`` reviews written per (user, category) -- eq. 4's ``a^w``."""
+    def writing_counts_matrix(self) -> IntArray:
+        """``(U, C)`` reviews written per (user, category) -- eq. 4's ``a^w``.
+
+        The returned array is the cached snapshot itself (read-only); use
+        ``.copy()`` for a private mutable version.
+        """
         if self._writing_counts is None:
             num_cells = len(self.users) * len(self.categories)
             keys = self.review_writer_idx * len(self.categories) + self.review_category_idx
-            self._writing_counts = np.bincount(keys, minlength=num_cells).reshape(
-                len(self.users), len(self.categories)
-            )
+            counts = np.asarray(
+                np.bincount(keys, minlength=num_cells), dtype=np.int64
+            ).reshape(len(self.users), len(self.categories))
+            counts.setflags(write=False)
+            self._writing_counts = counts
         return self._writing_counts
 
-    def rating_counts_matrix(self) -> np.ndarray:
-        """``(U, C)`` ratings given per (user, category) -- eq. 4's ``a^r``."""
+    def rating_counts_matrix(self) -> IntArray:
+        """``(U, C)`` ratings given per (user, category) -- eq. 4's ``a^r``.
+
+        The returned array is the cached snapshot itself (read-only); use
+        ``.copy()`` for a private mutable version.
+        """
         if self._rating_counts is None:
             num_cells = len(self.users) * len(self.categories)
             keys = self.rater_idx * len(self.categories) + self.rating_category_idx
-            self._rating_counts = np.bincount(keys, minlength=num_cells).reshape(
-                len(self.users), len(self.categories)
-            )
+            counts = np.asarray(
+                np.bincount(keys, minlength=num_cells), dtype=np.int64
+            ).reshape(len(self.users), len(self.categories))
+            counts.setflags(write=False)
+            self._rating_counts = counts
         return self._rating_counts
 
     def writing_counts(self, category_id: str) -> dict[str, int]:
@@ -251,7 +319,7 @@ class CommunityColumns:
 
     # ------------------------------------------------------ pairwise relation R
 
-    def _grouped_pairs(self) -> tuple:
+    def _grouped_pairs(self) -> _PairGroups:
         """Ratings grouped by (rater, writer) pair.
 
         Returns ``(pair_rater_idx, pair_writer_idx, starts, counts, sums,
@@ -286,7 +354,7 @@ class CommunityColumns:
                 sums = np.empty(0, dtype=np.float64)
             unique_keys = sorted_keys[starts] if len(sorted_keys) else sorted_keys
             n = max(len(self.users), 1)
-            self._pair_groups = (
+            groups: _PairGroups = (
                 unique_keys // n,
                 unique_keys % n,
                 starts,
@@ -295,11 +363,14 @@ class CommunityColumns:
                 order,
                 order[starts] if len(sorted_keys) else starts,
             )
+            for arr in groups:
+                arr.setflags(write=False)
+            self._pair_groups = groups
         return self._pair_groups
 
     def direct_connection_arrays(
         self, *, include_self: bool = False
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[IntArray, IntArray, IntArray, FloatArray]:
         """Unique ``(rater, writer)`` pairs of ``R`` as position arrays.
 
         Returns ``(rater_pos, writer_pos, counts, means)``; self-pairs are

@@ -127,12 +127,12 @@ class Community:
     on top of the store's referential integrity.
     """
 
-    def __init__(self, name: str = "community"):
+    def __init__(self, name: str = "community") -> None:
         self._db = _build_database(name)
         self.name = name
         self._version = 0
         self._columns: CommunityColumns | None = None
-        self._columns_key: tuple | None = None
+        self._columns_key: tuple[int, int, int, int, int] | None = None
 
     # ------------------------------------------------------------------ writes
 

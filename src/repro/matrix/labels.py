@@ -6,6 +6,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.common.arrays import IntArray
 from repro.common.errors import ValidationError
 
 __all__ = ["LabelIndex"]
@@ -21,7 +22,7 @@ class LabelIndex:
     'u3'
     """
 
-    def __init__(self, labels: Iterable[str]):
+    def __init__(self, labels: Iterable[str]) -> None:
         self._labels: tuple[str, ...] = tuple(labels)
         self._positions: dict[str, int] = {}
         for pos, label in enumerate(self._labels):
@@ -38,7 +39,7 @@ class LabelIndex:
             raise KeyError(f"unknown label {label!r}")
         return pos
 
-    def positions(self, labels: Iterable[str]) -> np.ndarray:
+    def positions(self, labels: Iterable[str]) -> IntArray:
         """Positions of many labels as an ``int64`` array (bulk lookup).
 
         The counterpart of :meth:`position` for array-backed callers: one

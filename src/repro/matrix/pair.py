@@ -6,6 +6,8 @@ state through the bulk APIs here, so the per-entry Python overhead of the
 original dict-of-dicts implementation stays off the critical path.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
@@ -13,6 +15,7 @@ from typing import Iterable, Iterator, Mapping
 import numpy as np
 from scipy import sparse
 
+from repro.common.arrays import FloatArray, IntArray
 from repro.common.errors import ValidationError
 from repro.matrix.labels import LabelIndex
 
@@ -42,7 +45,7 @@ class UserPairMatrix:
     consumers (propagation, metrics) pay the conversion once.
     """
 
-    def __init__(self, users: LabelIndex | Iterable[str]):
+    def __init__(self, users: LabelIndex | Iterable[str]) -> None:
         self.users = users if isinstance(users, LabelIndex) else LabelIndex(users)
         self._n = len(self.users)
         self._keys = np.empty(0, dtype=np.int64)
@@ -50,7 +53,7 @@ class UserPairMatrix:
         # pending writes, in order: blocks of (keys, values) arrays plus a
         # cheap tuple buffer for point writes (flushed into a block whenever
         # ordering against a bulk write must be preserved)
-        self._pending_blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._pending_blocks: list[tuple[IntArray, FloatArray]] = []
         self._pending_points: list[tuple[int, float]] = []
         # pending additive writes onto keys absent from the consolidated
         # arrays; invariant: non-empty only while the set-write queue above
@@ -76,9 +79,9 @@ class UserPairMatrix:
 
     def set_block(
         self,
-        rows: np.ndarray | Iterable[int],
-        cols: np.ndarray | Iterable[int],
-        values: np.ndarray | Iterable[float] | float,
+        rows: IntArray | Iterable[int],
+        cols: IntArray | Iterable[int],
+        values: FloatArray | Iterable[float] | float,
     ) -> None:
         """Bulk-store ``values`` at integer positions ``(rows, cols)``.
 
@@ -197,7 +200,7 @@ class UserPairMatrix:
         for key, value in zip(self._keys.tolist(), self._vals.tolist()):
             yield labels[key // n], labels[key % n], value
 
-    def entries_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def entries_arrays(self) -> tuple[IntArray, IntArray, FloatArray]:
         """All stored entries as ``(rows, cols, values)`` position arrays.
 
         Row-major sorted; this is the zero-interpretation bulk counterpart
@@ -217,7 +220,7 @@ class UserPairMatrix:
         self._consolidate()
         return self._keys_to_pairs(self._keys)
 
-    def support_keys(self) -> np.ndarray:
+    def support_keys(self) -> IntArray:
         """Stored pairs as sorted flat integer keys ``i * U + j`` (copy).
 
         The integer form is what the set operations below use internally;
@@ -234,7 +237,7 @@ class UserPairMatrix:
             return 0.0
         return self.num_entries() / possible
 
-    def values(self) -> np.ndarray:
+    def values(self) -> FloatArray:
         """All stored values as a flat array (row-major order)."""
         self._consolidate()
         return self._vals.copy()
@@ -276,9 +279,9 @@ class UserPairMatrix:
     def from_arrays(
         cls,
         users: LabelIndex | Iterable[str],
-        rows: np.ndarray | Iterable[int],
-        cols: np.ndarray | Iterable[int],
-        values: np.ndarray | Iterable[float] | float,
+        rows: IntArray | Iterable[int],
+        cols: IntArray | Iterable[int],
+        values: FloatArray | Iterable[float] | float,
     ) -> "UserPairMatrix":
         """Build from position arrays in one bulk write."""
         out = cls(users)
@@ -455,7 +458,7 @@ class UserPairMatrix:
         hi = int(np.searchsorted(self._keys, (i + 1) * n, side="left"))
         return lo, hi
 
-    def _keys_to_pairs(self, keys: np.ndarray) -> set[tuple[str, str]]:
+    def _keys_to_pairs(self, keys: IntArray) -> set[tuple[str, str]]:
         labels = self.users.labels
         n = self._n
         return {(labels[k // n], labels[k % n]) for k in keys.tolist()}

@@ -6,6 +6,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.common.arrays import FloatArray, IntArray
 from repro.common.errors import ValidationError
 from repro.matrix.labels import LabelIndex
 
@@ -24,8 +25,8 @@ class UserCategoryMatrix:
         self,
         users: LabelIndex | Iterable[str],
         categories: LabelIndex | Iterable[str],
-        values: np.ndarray | None = None,
-    ):
+        values: FloatArray | None = None,
+    ) -> None:
         self.users = users if isinstance(users, LabelIndex) else LabelIndex(users)
         self.categories = (
             categories if isinstance(categories, LabelIndex) else LabelIndex(categories)
@@ -50,7 +51,8 @@ class UserCategoryMatrix:
     @property
     def shape(self) -> tuple[int, int]:
         """``(num_users, num_categories)``."""
-        return self._values.shape  # type: ignore[return-value]
+        rows, cols = self._values.shape
+        return int(rows), int(cols)
 
     def get(self, user_id: str, category_id: str) -> float:
         """Value for ``(user, category)``."""
@@ -70,7 +72,7 @@ class UserCategoryMatrix:
         self,
         category_id: str,
         user_ids: Iterable[str],
-        values: np.ndarray | Iterable[float],
+        values: FloatArray | Iterable[float],
     ) -> None:
         """Bulk-set one category's column for many users at once.
 
@@ -93,9 +95,9 @@ class UserCategoryMatrix:
 
     def set_entries(
         self,
-        user_positions: np.ndarray | Iterable[int],
-        category_positions: np.ndarray | Iterable[int],
-        values: np.ndarray | Iterable[float],
+        user_positions: IntArray | Iterable[int],
+        category_positions: IntArray | Iterable[int],
+        values: FloatArray | Iterable[float],
     ) -> None:
         """Bulk-set many ``(user, category)`` cells by axis position.
 
@@ -123,19 +125,19 @@ class UserCategoryMatrix:
                 raise ValidationError("user-category values must lie in [0, 1]")
         self._values[rows, cols] = values
 
-    def user_row(self, user_id: str) -> np.ndarray:
+    def user_row(self, user_id: str) -> FloatArray:
         """Copy of the row for ``user_id`` (length ``C``)."""
         return self._values[self.users.position(user_id), :].copy()
 
-    def category_column(self, category_id: str) -> np.ndarray:
+    def category_column(self, category_id: str) -> FloatArray:
         """Copy of the column for ``category_id`` (length ``U``)."""
         return self._values[:, self.categories.position(category_id)].copy()
 
-    def to_array(self) -> np.ndarray:
+    def to_array(self) -> FloatArray:
         """Copy of the underlying dense array."""
         return self._values.copy()
 
-    def values_view(self) -> np.ndarray:
+    def values_view(self) -> FloatArray:
         """Read-only view of the underlying array (no copy)."""
         view = self._values.view()
         view.setflags(write=False)
@@ -143,14 +145,14 @@ class UserCategoryMatrix:
 
     # ------------------------------------------------------------------ helpers
 
-    def row_sums(self) -> np.ndarray:
+    def row_sums(self) -> FloatArray:
         """Per-user sum across categories (the denominator of eq. 5)."""
         return self._values.sum(axis=1)
 
     def nonzero_user_ids(self) -> list[str]:
         """Users with at least one nonzero category value."""
         mask = (self._values != 0).any(axis=1)
-        return [self.users.label(i) for i in np.nonzero(mask)[0]]
+        return [self.users.label(int(i)) for i in np.nonzero(mask)[0]]
 
     def ranking(self, category_id: str, *, restrict_to: set[str] | None = None) -> list[str]:
         """User ids ranked by descending value in ``category_id``.

@@ -6,6 +6,8 @@ Python iteration) or a :class:`networkx.DiGraph` (the compatibility path --
 edges are gathered once into a matrix over the graph's node set).
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from typing import Union

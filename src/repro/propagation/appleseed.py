@@ -15,6 +15,8 @@ instead of Python loops over successor lists.  Pass a
 :class:`networkx.DiGraph` is accepted for compatibility.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 import numpy as np

@@ -19,11 +19,14 @@ The iteration runs on the sparse CSR view of the trust web -- pass a
 once.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 import numpy as np
 from scipy import sparse
 
+from repro.common.arrays import FloatArray
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.validation import require_fraction, require_positive
 from repro.matrix import LabelIndex
@@ -106,7 +109,7 @@ def eigen_trust(
     )
 
 
-def _pretrust_vector(pretrust: dict[str, float] | None, users) -> np.ndarray:
+def _pretrust_vector(pretrust: dict[str, float] | None, users: LabelIndex) -> FloatArray:
     n = len(users)
     if pretrust is None:
         return np.full(n, 1.0 / n)

@@ -21,6 +21,8 @@ directly, which keeps each atomic operator's one-step semantics visible
 (e.g. a pure-transpose configuration yields exactly the reversed edges).
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from dataclasses import dataclass

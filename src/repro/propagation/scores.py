@@ -14,19 +14,22 @@ subset (Appleseed ranks the nodes its energy reached); the subset case is
 carried as a boolean ``present`` mask over the same axis.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.common.arrays import BoolArray, FloatArray
 from repro.common.errors import ValidationError
 from repro.matrix import LabelIndex
 
 __all__ = ["PropagationScores"]
 
 
-class PropagationScores(Mapping):
+class PropagationScores(Mapping[str, float]):
     """Dense per-user propagation scores with mapping semantics.
 
     Parameters
@@ -46,9 +49,9 @@ class PropagationScores(Mapping):
     def __init__(
         self,
         users: LabelIndex,
-        values: np.ndarray,
-        present: np.ndarray | None = None,
-    ):
+        values: FloatArray,
+        present: BoolArray | None = None,
+    ) -> None:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (len(users),):
             raise ValidationError(
@@ -68,11 +71,11 @@ class PropagationScores(Mapping):
 
     # ------------------------------------------------------------- vector view
 
-    def scores_array(self) -> np.ndarray:
+    def scores_array(self) -> FloatArray:
         """Copy of the score vector over the full user axis (absent = 0)."""
         return self._values.copy()
 
-    def present_mask(self) -> np.ndarray:
+    def present_mask(self) -> BoolArray:
         """Boolean mask of axis positions present in the mapping view."""
         if self._present is None:
             return np.ones(len(self.users), dtype=bool)

@@ -20,10 +20,13 @@ edges at once instead of looping per node.  Pass a
 :class:`networkx.DiGraph` is accepted for compatibility.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 import numpy as np
 
+from repro.common.arrays import AnyArray
 from repro.common.errors import ValidationError
 from repro.propagation._adjacency import TrustWeb, as_pair_matrix
 
@@ -66,9 +69,9 @@ def tidal_trust(
     depth_from_source, sink_depth = forward
 
     csc = adjacency.tocsc()
-    depth_to_sink, _ = _bfs_levels(
-        csc.indptr, csc.indices, n, snk, cutoff=sink_depth
-    )
+    backward = _bfs_levels(csc.indptr, csc.indices, n, snk, cutoff=sink_depth)
+    assert backward is not None  # cutoff-bounded BFS always returns depths
+    depth_to_sink, _ = backward
 
     # nodes on at least one shortest source->sink path, grouped by depth
     on_path = (
@@ -111,8 +114,8 @@ def tidal_trust(
 
 
 def _edge_positions(
-    indptr: np.ndarray, nodes: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+    indptr: AnyArray, nodes: AnyArray
+) -> tuple[AnyArray, AnyArray]:
     """Flat positions of all out-edges of ``nodes`` plus their repeated rows."""
     starts = indptr[nodes]
     counts = indptr[nodes + 1] - starts
@@ -127,22 +130,22 @@ def _edge_positions(
 
 
 def _gather_edges(
-    indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, nodes: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    indptr: AnyArray, indices: AnyArray, data: AnyArray, nodes: AnyArray
+) -> tuple[AnyArray, AnyArray, AnyArray]:
     """All out-edges of ``nodes`` as ``(rows, cols, weights)`` arrays."""
     rows, edge_pos = _edge_positions(indptr, nodes)
     return rows, indices[edge_pos], data[edge_pos]
 
 
 def _bfs_levels(
-    indptr: np.ndarray,
-    indices: np.ndarray,
+    indptr: AnyArray,
+    indices: AnyArray,
     n: int,
     start: int,
     *,
     until: int | None = None,
     cutoff: int | None = None,
-) -> tuple[np.ndarray, int] | None:
+) -> tuple[AnyArray, int] | None:
     """Level-synchronous BFS depths from ``start``.
 
     Expansion stops at the level where ``until`` is reached (returning
@@ -172,12 +175,12 @@ def _bfs_levels(
 
 
 def _max_path_strength(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    data: np.ndarray,
-    levels: list[np.ndarray],
-    depth_from_source: np.ndarray,
-    on_path: np.ndarray,
+    indptr: AnyArray,
+    indices: AnyArray,
+    data: AnyArray,
+    levels: list[AnyArray],
+    depth_from_source: AnyArray,
+    on_path: AnyArray,
     src: int,
     snk: int,
     n: int,

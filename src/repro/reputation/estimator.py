@@ -19,6 +19,8 @@ serial warm-start chaining (``reuse_warm_start=True``); both fall back to
 per-category :func:`repro.reputation.riggs.solve_category` calls.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
@@ -108,7 +110,7 @@ class ExpertiseEstimator:
         unrated_policy: str = "exclude",
         n_jobs: int = 1,
         reuse_warm_start: bool = False,
-    ):
+    ) -> None:
         require_positive("n_jobs", n_jobs)
         self.config = config or RiggsConfig()
         self.unrated_policy = unrated_policy
@@ -248,5 +250,8 @@ class ExpertiseEstimator:
         warm_start: Mapping[str, float] | None = None,
     ) -> CategoryFixedPoint:
         return solve_category(
-            community.rating_triples(category_id), self.config, warm_start=warm_start
+            # repro: allow(R2): legacy per-category path (thread pool / warm-start)
+            community.rating_triples(category_id),
+            self.config,
+            warm_start=warm_start,
         )

@@ -48,7 +48,7 @@ class IncrementalExpertise:
         config: RiggsConfig | None = None,
         *,
         unrated_policy: str = "exclude",
-    ):
+    ) -> None:
         self._community = community
         self._config = config or RiggsConfig()
         self._unrated_policy = unrated_policy

@@ -19,14 +19,18 @@ The iteration operates on flat numpy arrays indexed by (rater, review)
 incidence, so each sweep is O(number of ratings).
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from collections.abc import Mapping as _Mapping
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Protocol, Sequence, overload
 
 import numpy as np
 
+from repro.common.arrays import FloatArray, IntArray
+from repro.common.contracts import array_spec, checked_arrays
 from repro.common.errors import ConvergenceError, ValidationError
 from repro.common.validation import (
     require_fraction,
@@ -34,11 +38,15 @@ from repro.common.validation import (
     require_positive,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matrix.labels import LabelIndex
+
 __all__ = [
     "RiggsConfig",
     "CategoryFixedPoint",
     "ArrayFixedPoint",
     "BatchedFixedPoints",
+    "ColumnarRatings",
     "LazyFixedPoints",
     "solve_category",
     "solve_category_arrays",
@@ -47,13 +55,43 @@ __all__ = [
 ]
 
 
-def experience_discount(n: np.ndarray | int) -> np.ndarray | float:
+class ColumnarRatings(Protocol):
+    """Structural input of :func:`solve_all_categories`.
+
+    Anything shaped like :class:`repro.community.CommunityColumns`
+    qualifies: label axes, a category-major global review axis and
+    category-major rating columns.  Declared as a protocol so this module
+    stays import-independent of the community layer.
+    """
+
+    users: LabelIndex
+    categories: LabelIndex
+    review_ids: tuple[str, ...]
+    review_category_idx: IntArray
+    srt_rater_idx: IntArray
+    srt_review_idx: IntArray
+    srt_values: FloatArray
+    rating_cat_starts: IntArray
+
+
+@overload
+def experience_discount(n: int) -> float: ...
+
+
+@overload
+def experience_discount(n: IntArray | FloatArray) -> FloatArray: ...
+
+
+def experience_discount(n: IntArray | FloatArray | int) -> FloatArray | float:
     """The paper's activity discount ``1 - 1/(n+1)``.
 
     Maps 1 activity event to 0.5, 9 events to 0.9, and approaches 1 as the
     user becomes more active, "compensating for less experience".
     """
-    return 1.0 - 1.0 / (np.asarray(n, dtype=np.float64) + 1.0)
+    result = 1.0 - 1.0 / (np.asarray(n, dtype=np.float64) + 1.0)
+    if isinstance(n, (int, np.integer)):
+        return float(result)
+    return result
 
 
 @dataclass(frozen=True)
@@ -226,7 +264,7 @@ def solve_category(
 
 def _index_triples(
     triples: Sequence[tuple[str, str, float]],
-) -> tuple[list[str], list[str], np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[list[str], list[str], IntArray, IntArray, FloatArray]:
     rater_pos: dict[str, int] = {}
     review_pos: dict[str, int] = {}
     seen_pairs: set[tuple[str, str]] = set()
@@ -255,13 +293,13 @@ def _index_triples(
 
 
 def _quality_update(
-    reputation: np.ndarray,
-    rater_idx: np.ndarray,
-    review_idx: np.ndarray,
-    values: np.ndarray,
+    reputation: FloatArray,
+    rater_idx: IntArray,
+    review_idx: IntArray,
+    values: FloatArray,
     num_reviews: int,
     cfg: RiggsConfig,
-) -> np.ndarray:
+) -> FloatArray:
     """Eq. 1: reputation-weighted mean rating per review."""
     if cfg.weight_by_rater_reputation:
         weights = reputation[rater_idx]
@@ -283,13 +321,13 @@ def _quality_update(
 
 
 def _reputation_update(
-    quality: np.ndarray,
-    rater_idx: np.ndarray,
-    review_idx: np.ndarray,
-    values: np.ndarray,
-    counts: np.ndarray,
-    discount: np.ndarray,
-) -> np.ndarray:
+    quality: FloatArray,
+    rater_idx: IntArray,
+    review_idx: IntArray,
+    values: FloatArray,
+    counts: FloatArray,
+    discount: FloatArray,
+) -> FloatArray:
     """Eq. 2: activity-discounted (1 - mean absolute deviation)."""
     deviations = np.abs(quality[review_idx] - values)
     total_dev = np.bincount(rater_idx, weights=deviations, minlength=len(counts))
@@ -317,9 +355,9 @@ class ArrayFixedPoint:
         As on :class:`CategoryFixedPoint`.
     """
 
-    quality: np.ndarray
-    reputation: np.ndarray
-    rating_counts: np.ndarray
+    quality: FloatArray
+    reputation: FloatArray
+    rating_counts: IntArray
     iterations: int
     residual: float
 
@@ -336,26 +374,26 @@ class BatchedFixedPoints:
     """
 
     categories: tuple[str, ...]
-    users: "object"  # LabelIndex; typed loosely to keep riggs dependency-free
+    users: LabelIndex
     review_ids: tuple[str, ...]
-    nonempty_categories: np.ndarray
-    rated_review_idx: np.ndarray
-    quality: np.ndarray
-    review_slot_cat: np.ndarray
-    rater_slot_user: np.ndarray
-    rater_slot_cat: np.ndarray
-    reputation: np.ndarray
-    rater_counts: np.ndarray
-    iterations: np.ndarray
-    residuals: np.ndarray
+    nonempty_categories: IntArray
+    rated_review_idx: IntArray
+    quality: FloatArray
+    review_slot_cat: IntArray
+    rater_slot_user: IntArray
+    rater_slot_cat: IntArray
+    reputation: FloatArray
+    rater_counts: IntArray
+    iterations: IntArray
+    residuals: FloatArray
 
     @property
-    def rater_slot_category_idx(self) -> np.ndarray:
+    def rater_slot_category_idx(self) -> IntArray:
         """Category-axis position of every rater slot."""
         return self.nonempty_categories[self.rater_slot_cat]
 
     @property
-    def review_slot_category_idx(self) -> np.ndarray:
+    def review_slot_category_idx(self) -> IntArray:
         """Category-axis position of every review slot."""
         return self.nonempty_categories[self.review_slot_cat]
 
@@ -404,7 +442,7 @@ class BatchedFixedPoints:
         return {category_id: self.fixed_point(category_id) for category_id in self.categories}
 
 
-class LazyFixedPoints(_Mapping):
+class LazyFixedPoints(_Mapping[str, CategoryFixedPoint]):
     """``{category_id: CategoryFixedPoint}`` view over a batched solve.
 
     Building every category's dicts up front costs more than the batched
@@ -416,7 +454,7 @@ class LazyFixedPoints(_Mapping):
 
     __slots__ = ("_batch", "_cache")
 
-    def __init__(self, batch: BatchedFixedPoints):
+    def __init__(self, batch: BatchedFixedPoints) -> None:
         self._batch = batch
         self._cache: dict[str, CategoryFixedPoint] = {}
 
@@ -427,7 +465,7 @@ class LazyFixedPoints(_Mapping):
             self._cache[category_id] = self._batch.fixed_point(category_id)
         return self._cache[category_id]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._batch.categories)
 
     def __len__(self) -> int:
@@ -437,15 +475,21 @@ class LazyFixedPoints(_Mapping):
         return f"LazyFixedPoints({len(self)} categories)"
 
 
+@checked_arrays(
+    rater_idx=array_spec(ndim=1, kind="iu", non_negative=True, length_of="ratings"),
+    review_idx=array_spec(ndim=1, kind="iu", non_negative=True, length_of="ratings"),
+    values=array_spec(ndim=1, kind="if", finite=True, length_of="ratings"),
+    warm_start=array_spec(ndim=1, kind="if", finite=True, optional=True),
+)
 def solve_category_arrays(
-    rater_idx: np.ndarray,
-    review_idx: np.ndarray,
-    values: np.ndarray,
+    rater_idx: IntArray,
+    review_idx: IntArray,
+    values: FloatArray,
     *,
     num_raters: int | None = None,
     num_reviews: int | None = None,
     config: RiggsConfig | None = None,
-    warm_start: np.ndarray | None = None,
+    warm_start: FloatArray | None = None,
 ) -> ArrayFixedPoint:
     """Arrays-native :func:`solve_category`: integer slots in, arrays out.
 
@@ -510,7 +554,7 @@ def solve_category_arrays(
 
 
 def solve_all_categories(
-    columns,
+    columns: ColumnarRatings,
     config: RiggsConfig | None = None,
     *,
     warm_start: Mapping[str, float] | None = None,
@@ -551,7 +595,7 @@ def solve_all_categories(
     categories = tuple(columns.categories)
     starts = np.asarray(columns.rating_cat_starts, dtype=np.int64)
     rows_per_cat = np.diff(starts)
-    nonempty = np.flatnonzero(rows_per_cat > 0)
+    nonempty = np.asarray(np.flatnonzero(rows_per_cat > 0), dtype=np.int64)
     num_users = len(columns.users)
     iterations = np.zeros(len(categories), dtype=np.int64)
     residuals = np.zeros(len(categories), dtype=np.float64)
@@ -644,9 +688,9 @@ def solve_all_categories(
 
 
 def _validate_rating_arrays(
-    rater_idx: np.ndarray,
-    review_idx: np.ndarray,
-    values: np.ndarray,
+    rater_idx: IntArray,
+    review_idx: IntArray,
+    values: FloatArray,
     num_reviews: int,
 ) -> None:
     if np.isnan(values).any() or (
@@ -659,19 +703,19 @@ def _validate_rating_arrays(
 
 
 def _segmented_solve(
-    rater_slot: np.ndarray,
-    review_slot: np.ndarray,
-    values: np.ndarray,
+    rater_slot: IntArray,
+    review_slot: IntArray,
+    values: FloatArray,
     *,
     num_rater_slots: int,
     num_review_slots: int,
-    row_cat: np.ndarray,
-    rater_slot_cat: np.ndarray,
-    review_slot_cat: np.ndarray,
+    row_cat: IntArray,
+    rater_slot_cat: IntArray,
+    review_slot_cat: IntArray,
     num_segments: int,
     cfg: RiggsConfig,
-    reputation: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    reputation: FloatArray,
+) -> tuple[FloatArray, FloatArray, IntArray, IntArray, FloatArray]:
     """Shared sweep loop over category-segmented incidence arrays.
 
     Every segment (category) is an independent fixed point; the sweeps run

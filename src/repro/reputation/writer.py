@@ -9,12 +9,16 @@ where ``R(u^w)`` is the set of the writer's reviews in the category and
 ``n_w = |R(u^w)|``.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from typing import Mapping
 
 import numpy as np
 
+from repro.common.arrays import FloatArray, IntArray
+from repro.common.contracts import array_spec, checked_arrays
 from repro.common.errors import ValidationError
 from repro.reputation.riggs import experience_discount
 
@@ -88,17 +92,25 @@ def writer_reputations(
     return reputations
 
 
+@checked_arrays(
+    review_writer_idx=array_spec(ndim=1, kind="iu", non_negative=True, length_of="reviews"),
+    review_category_idx=array_spec(
+        ndim=1, kind="iu", non_negative=True, length_of="reviews"
+    ),
+    rated_review_idx=array_spec(ndim=1, kind="iu", non_negative=True, length_of="rated"),
+    rated_quality=array_spec(ndim=1, kind="if", finite=True, length_of="rated"),
+)
 def writer_reputation_matrix(
-    review_writer_idx: np.ndarray,
-    review_category_idx: np.ndarray,
+    review_writer_idx: IntArray,
+    review_category_idx: IntArray,
     num_users: int,
     num_categories: int,
-    rated_review_idx: np.ndarray,
-    rated_quality: np.ndarray,
+    rated_review_idx: IntArray,
+    rated_quality: FloatArray,
     *,
     experience_discount_enabled: bool = True,
     unrated_policy: str = "exclude",
-) -> np.ndarray:
+) -> FloatArray:
     """Eq. 3 for every category at once, on columnar review arrays.
 
     Parameters

@@ -22,7 +22,7 @@ class Database:
     usually funnels writes through one data-access layer.
     """
 
-    def __init__(self, name: str = "db"):
+    def __init__(self, name: str = "db") -> None:
         if not name.isidentifier():
             raise ValidationError(f"database name {name!r} is not a valid identifier")
         self.name = name

@@ -16,7 +16,7 @@ class HashIndex:
     combination; lookups return primary keys in insertion order.
     """
 
-    def __init__(self, columns: tuple[str, ...]):
+    def __init__(self, columns: tuple[str, ...]) -> None:
         self.columns = tuple(columns)
         self._buckets: dict[tuple[Any, ...], dict[tuple[Any, ...], None]] = {}
 

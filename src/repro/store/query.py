@@ -19,7 +19,7 @@ __all__ = ["Query"]
 class Query:
     """Lazy filter/project/sort/limit pipeline over one table."""
 
-    def __init__(self, table: Table):
+    def __init__(self, table: Table) -> None:
         self._table = table
         self._equals: dict[str, Any] = {}
         self._predicates: list[Callable[[dict[str, Any]], bool]] = []

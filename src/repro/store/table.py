@@ -20,7 +20,7 @@ class Table:
     equality lookups are O(matches); unindexed scans are O(n).
     """
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._rows: dict[tuple[Any, ...], dict[str, Any]] = {}
         self._indexes: dict[tuple[str, ...], HashIndex] = {}

@@ -18,6 +18,8 @@ are stored, keeping memory proportional to the stored result rather than
 ``U^2``.
 """
 
+# repro: hot-path
+
 from __future__ import annotations
 
 from dataclasses import dataclass

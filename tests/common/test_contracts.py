@@ -1,0 +1,162 @@
+"""Tests for the runtime array-contract layer."""
+
+import numpy as np
+import pytest
+
+from repro.common import contracts
+from repro.common.contracts import (
+    ContractError,
+    array_spec,
+    checked_arrays,
+    contracts_enabled,
+)
+from repro.common.errors import ValidationError
+
+
+def make_kernel():
+    """A tiny kernel with the spec shapes the real entry points use."""
+
+    @checked_arrays(
+        idx=array_spec(ndim=1, kind="iu", non_negative=True, length_of="rows"),
+        values=array_spec(ndim=1, kind="f", finite=True, length_of="rows"),
+        warm=array_spec(ndim=1, kind="f", optional=True),
+    )
+    def kernel(idx, values, warm=None):
+        return float(values[idx].sum())
+
+    return kernel
+
+
+IDX = np.array([0, 1, 0], dtype=np.int64)
+VALUES = np.array([0.5, 0.25, 0.125], dtype=np.float64)
+
+
+class TestEnabledChecks:
+    @pytest.fixture(autouse=True)
+    def _force_checks_on(self, monkeypatch):
+        # decoration happens inside each test, so the flag takes effect
+        # even when the suite itself runs under REPRO_CHECKS=0
+        monkeypatch.setattr(contracts, "CHECKS_ENABLED", True)
+
+    def test_valid_arguments_pass_through(self):
+        assert make_kernel()(IDX, VALUES) == pytest.approx(1.25)
+
+    def test_required_argument_must_not_be_none(self):
+        with pytest.raises(ContractError, match="must not be None"):
+            make_kernel()(None, VALUES)
+
+    def test_optional_argument_may_be_none_or_checked(self):
+        kernel = make_kernel()
+        assert kernel(IDX, VALUES, warm=None) == pytest.approx(1.25)
+        assert kernel(IDX, VALUES, warm=VALUES) == pytest.approx(1.25)
+        with pytest.raises(ContractError, match="'warm'"):
+            kernel(IDX, VALUES, warm=np.zeros((2, 2)))
+
+    def test_ndim_violation(self):
+        with pytest.raises(ContractError, match="must be 1-D"):
+            make_kernel()(IDX.reshape(1, 3), VALUES)
+
+    def test_dtype_kind_violation(self):
+        with pytest.raises(ContractError, match="dtype kind"):
+            make_kernel()(IDX.astype(np.float64), VALUES)
+
+    def test_finite_violation(self):
+        bad = VALUES.copy()
+        bad[1] = np.nan
+        with pytest.raises(ContractError, match="NaN or inf"):
+            make_kernel()(IDX, bad)
+
+    def test_non_negative_violation(self):
+        with pytest.raises(ContractError, match="negative"):
+            make_kernel()(np.array([0, -1, 0], dtype=np.int64), VALUES)
+
+    def test_length_group_violation(self):
+        with pytest.raises(ContractError, match="equal length"):
+            make_kernel()(IDX, VALUES[:2])
+
+    def test_return_contract(self):
+        @checked_arrays(array_spec(ndim=1, finite=True))
+        def bad_kernel(n):
+            return np.full(n, np.inf)
+
+        with pytest.raises(ContractError, match="<return>"):
+            bad_kernel(3)
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(ValidationError, match="unknown parameters"):
+
+            @checked_arrays(missing=array_spec(ndim=1))
+            def kernel(x):
+                return x
+
+    def test_contract_error_is_a_validation_error(self):
+        assert issubclass(ContractError, ValidationError)
+
+    def test_wrapper_keeps_function_identity(self):
+        kernel = make_kernel()
+        assert kernel.__name__ == "kernel"
+
+
+class TestDisabledChecks:
+    def test_decorator_is_identity_when_disabled(self, monkeypatch):
+        monkeypatch.setattr(contracts, "CHECKS_ENABLED", False)
+
+        def kernel(idx, values):
+            return len(values)
+
+        decorated = checked_arrays(
+            idx=array_spec(ndim=1, kind="i"), values=array_spec(ndim=1, kind="f")
+        )(kernel)
+        assert decorated is kernel
+
+    def test_violations_pass_silently_when_disabled(self, monkeypatch):
+        monkeypatch.setattr(contracts, "CHECKS_ENABLED", False)
+
+        @checked_arrays(values=array_spec(ndim=1, kind="f", finite=True))
+        def kernel(values):
+            return values
+
+        bad = np.array([np.nan, np.inf])
+        assert kernel(bad) is bad
+
+    def test_contracts_enabled_reflects_the_flag(self, monkeypatch):
+        assert contracts_enabled() is contracts.CHECKS_ENABLED
+        monkeypatch.setattr(contracts, "CHECKS_ENABLED", False)
+        assert contracts_enabled() is False
+
+
+class TestKernelIntegration:
+    """The shipped entry points actually carry their contracts."""
+
+    def test_columns_constructor_rejects_length_mismatch(self):
+        from repro.community import CommunityColumns
+        from repro.matrix import LabelIndex
+
+        if not contracts.CHECKS_ENABLED:
+            pytest.skip("contracts compiled out (REPRO_CHECKS=0)")
+        with pytest.raises(ContractError, match="equal length"):
+            CommunityColumns(
+                users=LabelIndex(["u"]),
+                categories=LabelIndex(["c"]),
+                review_ids=("r",),
+                review_writer_idx=np.array([0], dtype=np.int64),
+                review_category_idx=np.array([0, 0], dtype=np.int64),
+                rater_idx=np.empty(0, dtype=np.int64),
+                rating_review_idx=np.empty(0, dtype=np.int64),
+                rating_values=np.empty(0, dtype=np.float64),
+            )
+
+    def test_writer_matrix_rejects_nan_quality(self):
+        from repro.reputation.writer import writer_reputation_matrix
+
+        if not contracts.CHECKS_ENABLED:
+            pytest.skip("contracts compiled out (REPRO_CHECKS=0)")
+        with pytest.raises(ContractError, match="NaN or inf"):
+            writer_reputation_matrix(
+                np.array([0], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                1,
+                1,
+                np.array([0], dtype=np.int64),
+                np.array([np.nan]),
+            )

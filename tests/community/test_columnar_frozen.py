@@ -1,0 +1,75 @@
+"""The cached columnar snapshot is physically read-only.
+
+``Community.columns()`` hands the same :class:`CommunityColumns` object to
+every consumer, so each array is frozen with ``setflags(write=False)``:
+an accidental in-place write raises instead of silently corrupting the
+shared cache (the runtime counterpart of the R4 lint rule).
+"""
+
+import numpy as np
+import pytest
+
+COLUMN_ATTRS = [
+    "review_writer_idx",
+    "review_category_idx",
+    "review_cat_starts",
+    "rater_idx",
+    "rating_review_idx",
+    "rating_category_idx",
+    "rating_values",
+    "srt_rater_idx",
+    "srt_review_idx",
+    "srt_values",
+    "rating_cat_starts",
+]
+
+
+@pytest.fixture
+def columns(two_category_community):
+    return two_category_community.columns()
+
+
+class TestFrozenColumns:
+    @pytest.mark.parametrize("attr", COLUMN_ATTRS)
+    def test_column_is_read_only(self, columns, attr):
+        array = getattr(columns, attr)
+        assert not array.flags.writeable
+        with pytest.raises(ValueError):
+            array[0] = 0
+
+    @pytest.mark.parametrize("attr", COLUMN_ATTRS)
+    def test_empty_community_columns_are_read_only(self, attr):
+        from repro.community import Community
+
+        community = Community("empty")
+        community.add_user("u")
+        community.add_category("c")
+        assert not getattr(community.columns(), attr).flags.writeable
+
+    def test_memo_matrices_are_read_only(self, columns):
+        for matrix in (columns.writing_counts_matrix(), columns.rating_counts_matrix()):
+            assert not matrix.flags.writeable
+            with pytest.raises(ValueError):
+                matrix[0, 0] = 7
+
+    def test_memo_matrices_copy_is_mutable(self, columns):
+        copy = columns.writing_counts_matrix().copy()
+        copy[0, 0] = 7  # the documented escape hatch
+        assert columns.writing_counts_matrix()[0, 0] == 2  # alice x movies
+
+    def test_pair_group_memo_is_read_only(self, columns):
+        for array in columns._grouped_pairs():
+            assert not array.flags.writeable
+
+    def test_fancy_indexed_reads_are_private_copies(self, columns):
+        sl = columns.ratings_slice("movies")
+        values = columns.srt_values[sl].copy()
+        values[:] = -1.0  # mutating the copy must not reach the cache
+        assert np.all(columns.srt_values[sl] != -1.0)
+
+    def test_readers_still_work_on_frozen_state(self, columns):
+        assert columns.rating_triples("movies")
+        assert columns.writing_counts("movies") == {"alice": 2, "bob": 1}
+        assert columns.direct_connections()
+        rater, writer, counts, means = columns.direct_connection_arrays()
+        assert len(rater) == len(writer) == len(counts) == len(means)

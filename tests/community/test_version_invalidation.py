@@ -1,0 +1,181 @@
+"""Version counter and columns() cache invalidation across all mutators.
+
+Invariant (satellite of the R1 lint rule): every successful ``add_*`` call
+bumps ``Community.version`` exactly once and invalidates the cached
+columnar view; failed adds leave both untouched.  Bulk loads that insert
+through ``community.database`` directly do not bump the version but are
+still caught by the row-count part of the cache key.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.community import (
+    Community,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    TrustStatement,
+)
+
+MUTATIONS = [
+    ("add_user", lambda c: c.add_user("frank")),
+    ("add_category", lambda c: c.add_category("music")),
+    ("add_object", lambda c: c.add_object(ReviewedObject("m3", "movies"))),
+    ("add_review", lambda c: c.add_review(Review("rb2", "bob", "m2"))),
+    ("add_rating", lambda c: c.add_rating(ReviewRating("carol", "ra1", 0.8))),
+    ("add_trust", lambda c: c.add_trust(TrustStatement("carol", "bob"))),
+]
+
+
+class TestSingleMutators:
+    @pytest.mark.parametrize("mutate", [m for _, m in MUTATIONS], ids=[n for n, _ in MUTATIONS])
+    def test_bumps_version_exactly_once(self, two_category_community, mutate):
+        before = two_category_community.version
+        mutate(two_category_community)
+        assert two_category_community.version == before + 1
+
+    @pytest.mark.parametrize("mutate", [m for _, m in MUTATIONS], ids=[n for n, _ in MUTATIONS])
+    def test_invalidates_columns_cache(self, two_category_community, mutate):
+        cached = two_category_community.columns()
+        assert two_category_community.columns() is cached  # stable when idle
+        mutate(two_category_community)
+        rebuilt = two_category_community.columns()
+        assert rebuilt is not cached
+        assert two_category_community.columns() is rebuilt
+
+    def test_failed_add_review_leaves_state_alone(self, two_category_community):
+        cached = two_category_community.columns()
+        before = two_category_community.version
+        with pytest.raises(IntegrityError):
+            two_category_community.add_review(Review("rx", "bob", "no-such-object"))
+        assert two_category_community.version == before
+        assert two_category_community.columns() is cached
+
+    def test_failed_self_rating_leaves_state_alone(self, two_category_community):
+        cached = two_category_community.columns()
+        before = two_category_community.version
+        with pytest.raises(IntegrityError):
+            two_category_community.add_rating(ReviewRating("alice", "ra1", 1.0))
+        assert two_category_community.version == before
+        assert two_category_community.columns() is cached
+
+
+class TestDirectDatabaseInserts:
+    """Bulk loads bypassing add_* must still invalidate the columnar view."""
+
+    def test_user_insert_is_caught_by_row_counts(self, two_category_community):
+        community = two_category_community
+        cached = community.columns()
+        version = community.version
+        community.database.insert("users", {"user_id": "zed", "name": ""})
+        assert community.version == version  # no bump: this is the raw store
+        rebuilt = community.columns()
+        assert rebuilt is not cached
+        assert "zed" in rebuilt.users
+
+    def test_rating_insert_is_caught_by_row_counts(self, two_category_community):
+        community = two_category_community
+        cached = community.columns()
+        community.database.insert(
+            "ratings",
+            {
+                "rater_id": "eve",
+                "review_id": "ra1",
+                "category_id": "movies",
+                "value": 0.7,
+            },
+        )
+        rebuilt = community.columns()
+        assert rebuilt is not cached
+        assert rebuilt.num_ratings == cached.num_ratings + 1
+
+
+# ----------------------------------------------------------------- property test
+
+OPS = ("user", "category", "object", "review", "rating", "trust")
+
+
+class MutationDriver:
+    """Applies self-contained mutations, counting the add_* calls made."""
+
+    def __init__(self):
+        self.community = Community("prop")
+        self.counters = dict.fromkeys(("user", "category", "object", "review"), 0)
+
+    def _fresh(self, kind):
+        self.counters[kind] += 1
+        return f"{kind}{self.counters[kind]}"
+
+    def _fresh_user(self):
+        user_id = self._fresh("user")
+        self.community.add_user(user_id)
+        return user_id, 1
+
+    def _fresh_review(self):
+        adds = 0
+        if not self.counters["category"]:
+            self.community.add_category(self._fresh("category"))
+            adds += 1
+        writer, n = self._fresh_user()
+        adds += n
+        object_id = self._fresh("object")
+        self.community.add_object(
+            ReviewedObject(object_id, f"category{self.counters['category']}")
+        )
+        review_id = self._fresh("review")
+        self.community.add_review(Review(review_id, writer, object_id))
+        return review_id, adds + 2
+
+    def apply(self, op):
+        """Run one operation; returns the number of add_* calls it made."""
+        community = self.community
+        if op == "user":
+            return self._fresh_user()[1]
+        if op == "category":
+            community.add_category(self._fresh("category"))
+            return 1
+        if op == "object":
+            adds = 0
+            if not self.counters["category"]:
+                community.add_category(self._fresh("category"))
+                adds += 1
+            community.add_object(
+                ReviewedObject(
+                    self._fresh("object"), f"category{self.counters['category']}"
+                )
+            )
+            return adds + 1
+        if op == "review":
+            return self._fresh_review()[1]
+        if op == "rating":
+            review_id, adds = self._fresh_review()
+            rater, n = self._fresh_user()  # fresh id, never the writer
+            community.add_rating(ReviewRating(rater, review_id, 0.6))
+            return adds + n + 1
+        if op == "trust":
+            truster, n1 = self._fresh_user()
+            trustee, n2 = self._fresh_user()
+            community.add_trust(TrustStatement(truster, trustee))
+            return n1 + n2 + 1
+        raise AssertionError(op)
+
+
+@given(ops=st.lists(st.sampled_from(OPS), max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_version_counts_successful_adds_and_columns_never_stale(ops):
+    driver = MutationDriver()
+    for op in ops:
+        cached = driver.community.columns()
+        before = driver.community.version
+        adds = driver.apply(op)
+        assert adds >= 1
+        assert driver.community.version == before + adds
+        rebuilt = driver.community.columns()
+        assert rebuilt is not cached
+        assert len(rebuilt.users) == driver.community.num_users()
+        assert rebuilt.num_reviews == driver.community.num_reviews()
+        assert rebuilt.num_ratings == driver.community.num_ratings()
+        assert driver.community.columns() is rebuilt
