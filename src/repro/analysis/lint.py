@@ -24,9 +24,15 @@ R4  :class:`repro.community.CommunityColumns` attributes are write-once:
     no assignment to its public attributes outside ``__init__``, neither
     inside the class nor on a ``columns()`` view held by a consumer.
 R5  Modules of the strict-typed packages (``repro.matrix``,
-    ``repro.community``, ``repro.propagation``, ``repro.reputation``)
-    must annotate every function parameter and return type (the local,
-    always-runnable mirror of the ``mypy --strict`` CI gate).
+    ``repro.community``, ``repro.propagation``, ``repro.reputation``,
+    ``repro.obs``) must annotate every function parameter and return
+    type (the local, always-runnable mirror of the ``mypy --strict`` CI
+    gate).
+R6  ``span(...)`` calls (the :mod:`repro.obs` timing API) must be entered
+    through the context-manager protocol: the call must be a ``with``
+    item (or be handed to ``enter_context(...)``).  A bare call leaks an
+    un-closed span and skews every ancestor's self-time.  There is no
+    ``start_span``/``stop_span`` pair; calling one is reported too.
 
 A finding can be waived with a trailing ``repro: allow(<rule>)`` comment
 on the offending line (or a standalone one on the line directly above),
@@ -59,6 +65,7 @@ RULES: dict[str, str] = {
     "R3": "no float accumulation driven by set iteration in numeric modules",
     "R4": "CommunityColumns attributes are write-once outside __init__",
     "R5": "strict-typed packages must fully annotate every function",
+    "R6": "obs spans must be context-managed (with-item or enter_context)",
 }
 
 _WAIVER_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Z0-9,\s]+?)\s*\)")
@@ -116,7 +123,7 @@ _SET_RETURNING_CALLS = frozenset(
 _NUMERIC_PACKAGES = frozenset(
     {"matrix", "community", "reputation", "propagation", "trust", "affinity", "metrics"}
 )
-_TYPED_PACKAGES = frozenset({"matrix", "community", "propagation", "reputation"})
+_TYPED_PACKAGES = frozenset({"matrix", "community", "propagation", "reputation", "obs"})
 
 #: R4: the write-once columnar view class and its constructor entry points.
 _COLUMNS_CLASS = "CommunityColumns"
@@ -529,6 +536,51 @@ def _check_r5(tree: ast.Module, ctx: _ModuleContext) -> None:
             )
 
 
+# ------------------------------------------------------------------------- R6
+
+#: Calls that would bypass the span context-manager protocol entirely.
+_SPAN_FORBIDDEN = frozenset({"start_span", "stop_span"})
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _check_r6(tree: ast.Module, ctx: _ModuleContext) -> None:
+    managed: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    managed.add(id(item.context_expr))
+        elif isinstance(node, ast.Call) and _call_name(node) == "enter_context":
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    managed.add(id(arg))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in _SPAN_FORBIDDEN:
+            ctx.report(
+                node,
+                "R6",
+                f"there is no {name}() API; time the region with "
+                f"`with obs.span(...):` so the span always closes",
+            )
+        elif name == "span" and id(node) not in managed:
+            ctx.report(
+                node,
+                "R6",
+                "span(...) must be a with-item (or passed to "
+                "enter_context(...)); a bare call leaks an un-closed span",
+            )
+
+
 # ------------------------------------------------------------------ entry points
 
 
@@ -557,6 +609,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     _check_r3(tree, ctx)
     _check_r4(tree, ctx)
     _check_r5(tree, ctx)
+    _check_r6(tree, ctx)
     ctx.findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return ctx.findings
 
@@ -584,7 +637,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI: ``python -m repro.analysis.lint [paths...]``."""
     parser = argparse.ArgumentParser(
         prog="repro.analysis.lint",
-        description="Check the repo-specific invariants R1-R5.",
+        description="Check the repo-specific invariants R1-R6.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories to lint"

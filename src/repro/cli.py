@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.datasets import (
     dataset_stats,
     generate_community,
@@ -97,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--users", type=int, default=1200, help="community size")
     parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED, help="random seed")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a repro.obs trace of the run and write it as JSON "
+        "(render with `python -m repro.obs.report PATH`)",
+    )
 
 
 def _add_source_args(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +114,19 @@ def _add_source_args(parser: argparse.ArgumentParser) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    trace_path: str | None = getattr(args, "trace", None)
+    if trace_path is None:
+        return _run(args)
+
+    recorder = obs.Recorder()
+    with obs.use_recorder(recorder):
+        code = _run(args)
+    recorder.write(trace_path)
+    print(f"wrote trace to {trace_path}", file=sys.stderr)
+    return code
+
+
+def _run(args: argparse.Namespace) -> int:
     out = sys.stdout
 
     if args.command == "generate":

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.common.errors import IntegrityError, ValidationError
 from repro.community.columnar import CommunityColumns
 from repro.community.model import (
@@ -252,9 +253,21 @@ class Community:
             len(self._db.table("reviews")),
             len(self._db.table("ratings")),
         )
-        if self._columns is None or self._columns_key != key:
+        if self._columns is not None and self._columns_key == key:
+            obs.add("community.columns.hit")
+            return self._columns
+        if self._columns is not None:
+            # a cached view exists but its key is stale: a mutation
+            # invalidated it since the last build
+            obs.add("community.columns.invalidated")
+        obs.add("community.columns.miss")
+        with obs.span(
+            "community.columns.build",
+            users=len(self._db.table("users")),
+            ratings=len(self._db.table("ratings")),
+        ):
             self._columns = CommunityColumns.from_community(self)
-            self._columns_key = key
+        self._columns_key = key
         return self._columns
 
     def user_ids(self) -> list[str]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.affinity import AffinityConfig, AffinityEstimator
 from repro.community import Community
 from repro.datasets import CommunityProfile, SyntheticDataset, generate_community
@@ -98,31 +99,41 @@ def run_pipeline(
     generated ``dataset``, or (default) a fresh synthetic community from
     ``(profile, seed)``.
     """
-    if community is None:
-        if dataset is None:
-            dataset = generate_community(profile or CommunityProfile(), seed)
-        community = dataset.community
+    with obs.span("pipeline.run", seed=seed):
+        if community is None:
+            if dataset is None:
+                with obs.span("pipeline.dataset", seed=seed):
+                    dataset = generate_community(profile or CommunityProfile(), seed)
+            community = dataset.community
 
-    expertise_result = ExpertiseEstimator(riggs_config).fit(community)
-    affiliation = AffinityEstimator(affinity_config).fit(community)
-    deriver = deriver or TrustDeriver()
-    derived = deriver.derive(affiliation, expertise_result.expertise)
+        with obs.span("pipeline.step1.expertise"):
+            expertise_result = ExpertiseEstimator(riggs_config).fit(community)
+        with obs.span("pipeline.step2.affinity"):
+            affiliation = AffinityEstimator(affinity_config).fit(community)
+        with obs.span("pipeline.step3.derive"):
+            deriver = deriver or TrustDeriver()
+            derived = deriver.derive(affiliation, expertise_result.expertise)
 
-    connections = direct_connection_matrix(community)
-    baseline = baseline_matrix(community)
-    ground_truth = ground_truth_matrix(community)
-    k_by_user = generousness(connections, ground_truth)
+        with obs.span("pipeline.relations"):
+            connections = direct_connection_matrix(community)
+            baseline = baseline_matrix(community)
+            ground_truth = ground_truth_matrix(community)
+            k_by_user = generousness(connections, ground_truth)
 
-    return PipelineArtifacts(
-        dataset=dataset,
-        community=community,
-        expertise_result=expertise_result,
-        affiliation=affiliation,
-        derived=derived,
-        connections=connections,
-        baseline=baseline,
-        ground_truth=ground_truth,
-        generousness_by_user=k_by_user,
-        derived_binary=binarize_top_k(derived, k_by_user),
-        baseline_binary=binarize_top_k(baseline, k_by_user),
-    )
+        with obs.span("pipeline.binarize"):
+            derived_binary = binarize_top_k(derived, k_by_user)
+            baseline_binary = binarize_top_k(baseline, k_by_user)
+
+        return PipelineArtifacts(
+            dataset=dataset,
+            community=community,
+            expertise_result=expertise_result,
+            affiliation=affiliation,
+            derived=derived,
+            connections=connections,
+            baseline=baseline,
+            ground_truth=ground_truth,
+            generousness_by_user=k_by_user,
+            derived_binary=derived_binary,
+            baseline_binary=baseline_binary,
+        )

@@ -1,0 +1,368 @@
+"""Process-local tracing: hierarchical spans, counters, convergence records.
+
+The kernel layer is instrumented at its entry points (one span per
+``derive`` / ``fit`` / propagation call, never per sweep) through the
+module-level helpers in :mod:`repro.obs`.  Those helpers delegate to the
+*active* recorder:
+
+- :class:`NullRecorder` (the default) makes every operation a no-op --
+  ``span()`` returns one shared, reusable null context manager, so
+  instrumented code costs an attribute lookup and a call when tracing is
+  off;
+- :class:`Recorder` builds a span tree with wall-clock durations, plus
+  monotonic counters, value histograms and convergence records, and dumps
+  everything as one structured JSON document.
+
+Mirroring ``repro.common.contracts``'s ``REPRO_CHECKS`` pattern, the
+``REPRO_TRACE`` environment variable is read **once at import**: under
+``REPRO_TRACE=0`` the active recorder is pinned to the null recorder and
+:func:`repro.obs.set_recorder` becomes a no-op, so production deployments
+can guarantee tracing stays compiled out.
+
+Spans are only ever entered through the context-manager protocol (lint
+rule R6 enforces this at call sites); there is deliberately no public
+``start``/``stop`` pair to misuse.  Span stacks are thread-local, so the
+opt-in thread-pool Step-1 path records each worker's spans as separate
+roots instead of interleaving one shared stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import threading
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Callable, Iterable, Mapping, Protocol
+
+__all__ = [
+    "TRACE_ENABLED",
+    "SpanRecord",
+    "ConvergenceRecord",
+    "Recorder",
+    "NullRecorder",
+    "SpanContext",
+    "TraceRecorder",
+    "convergence_failures",
+]
+
+#: Read once at import time (the ``REPRO_CHECKS`` pattern): ``0`` pins the
+#: null recorder for the life of the process.
+TRACE_ENABLED: bool = os.environ.get("REPRO_TRACE", "1") != "0"
+
+#: Attribute values allowed on spans and convergence records -- everything
+#: JSON-serialisable without a custom encoder.
+Attr = str | int | float | bool | None
+
+
+class SpanContext(Protocol):
+    """Structural type of the object ``span()`` returns: a ``with`` target."""
+
+    def __enter__(self) -> "SpanRecord | None": ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None: ...
+
+
+@dataclass
+class SpanRecord:
+    """One node of the span tree.
+
+    ``end_s`` stays ``None`` while the span is open; ``to_dict`` reports
+    such spans with ``"incomplete": true`` (a crash dump mid-span is more
+    useful than a lost trace).
+    """
+
+    name: str
+    attributes: dict[str, Attr]
+    start_s: float
+    end_s: float | None = None
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def duration_s(self) -> float:
+        """Wall-clock span duration (0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def self_s(self) -> float:
+        """Duration minus the cumulative duration of direct children."""
+        return self.duration_s() - sum(c.duration_s() for c in self.children)
+
+    def to_dict(self, origin_s: float) -> dict[str, object]:
+        """JSON form; times are relative to the recorder's origin."""
+        doc: dict[str, object] = {
+            "name": self.name,
+            "start_s": round(self.start_s - origin_s, 6),
+            "duration_s": round(self.duration_s(), 6),
+            "self_s": round(self.self_s(), 6),
+        }
+        if self.attributes:
+            doc["attributes"] = dict(self.attributes)
+        if self.end_s is None:
+            doc["incomplete"] = True
+        if self.children:
+            doc["children"] = [c.to_dict(origin_s) for c in self.children]
+        return doc
+
+
+@dataclass(frozen=True)
+class ConvergenceRecord:
+    """One iterative kernel's convergence telemetry."""
+
+    kernel: str
+    iterations: int
+    residual: float
+    tolerance: float
+    converged: bool
+    attributes: dict[str, Attr] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        doc: dict[str, object] = {
+            "kernel": self.kernel,
+            "iterations": self.iterations,
+            "residual": self.residual,
+            "tolerance": self.tolerance,
+            "converged": self.converged,
+        }
+        if self.attributes:
+            doc["attributes"] = dict(self.attributes)
+        return doc
+
+
+class _NullSpan:
+    """The shared no-op context manager returned by ``NullRecorder.span``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder with the full API and zero behaviour.
+
+    The default active recorder: every instrumented call site pays one
+    method dispatch and nothing else, and results are bitwise identical
+    to an uninstrumented run (the instrumentation never touches the
+    numerics).
+    """
+
+    __slots__ = ()
+
+    #: Null recorders never record; hot loops gate optional per-item
+    #: telemetry on this flag.
+    active: bool = False
+
+    def span(self, name: str, **attributes: Attr) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def convergence(
+        self,
+        kernel: str,
+        *,
+        iterations: int,
+        residual: float,
+        tolerance: float,
+        converged: bool,
+        **attributes: Attr,
+    ) -> None:
+        return None
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one :class:`SpanRecord`.
+
+    Created by :meth:`Recorder.span`; the record is attached to the tree
+    at *open* time, so sibling order is call order (deterministic for the
+    serial kernels) and a crash mid-span still leaves the node in place.
+    """
+
+    __slots__ = ("_recorder", "_record")
+
+    def __init__(
+        self, recorder: "Recorder", name: str, attributes: dict[str, Attr]
+    ) -> None:
+        self._recorder = recorder
+        self._record = SpanRecord(name=name, attributes=attributes, start_s=0.0)
+
+    def __enter__(self) -> SpanRecord:
+        self._recorder._open(self._record)
+        return self._record
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._recorder._close(self._record)
+        return None
+
+
+class Recorder:
+    """Collects spans, counters, histograms and convergence records.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    active: bool = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._origin_s = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.roots: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, list[float]] = {}
+        self.convergence_records: list[ConvergenceRecord] = []
+
+    # ------------------------------------------------------------------ spans
+
+    def span(self, name: str, **attributes: Attr) -> _SpanHandle:
+        """A context manager recording one span under the current parent."""
+        return _SpanHandle(self, name, dict(attributes))
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        record.start_s = self._clock()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            with self._lock:
+                self.roots.append(record)
+        stack.append(record)
+
+    def _close(self, record: SpanRecord) -> None:
+        record.end_s = self._clock()
+        stack = self._stack()
+        # tolerate a torn-down stack (e.g. a generator finalised late)
+        while stack and stack[-1] is not record:
+            stack.pop()
+        if stack:
+            stack.pop()
+
+    # --------------------------------------------------------------- counters
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        """Increment the monotonic counter ``name``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the value histogram ``name``."""
+        with self._lock:
+            self.histograms.setdefault(name, []).append(float(value))
+
+    def convergence(
+        self,
+        kernel: str,
+        *,
+        iterations: int,
+        residual: float,
+        tolerance: float,
+        converged: bool,
+        **attributes: Attr,
+    ) -> None:
+        """Record one iterative kernel's convergence outcome."""
+        record = ConvergenceRecord(
+            kernel=kernel,
+            iterations=int(iterations),
+            residual=float(residual),
+            tolerance=float(tolerance),
+            converged=bool(converged),
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            self.convergence_records.append(record)
+
+    # ------------------------------------------------------------------- dump
+
+    def to_dict(self) -> dict[str, object]:
+        """The whole trace as one JSON-serialisable document."""
+        with self._lock:
+            histograms = {
+                name: _histogram_summary(values)
+                for name, values in sorted(self.histograms.items())
+            }
+            return {
+                "version": 1,
+                "meta": {
+                    "python": platform.python_version(),
+                    "trace_enabled": TRACE_ENABLED,
+                },
+                "spans": [root.to_dict(self._origin_s) for root in self.roots],
+                "counters": {k: self.counters[k] for k in sorted(self.counters)},
+                "histograms": histograms,
+                "convergence": [r.to_dict() for r in self.convergence_records],
+            }
+
+    def write(self, path: str) -> None:
+        """Dump the trace document to ``path`` as indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _histogram_summary(values: Iterable[float]) -> dict[str, object]:
+    data = list(values)
+    if not data:
+        return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": None}
+    total = sum(data)
+    return {
+        "count": len(data),
+        "total": total,
+        "min": min(data),
+        "max": max(data),
+        "mean": total / len(data),
+        "values": data,
+    }
+
+
+#: Either recorder flavour (both satisfy the same structural API).
+TraceRecorder = Recorder | NullRecorder
+
+
+def convergence_failures(document: Mapping[str, object]) -> list[dict[str, object]]:
+    """The convergence records of a trace document with ``converged=False``."""
+    records = document.get("convergence", [])
+    failures: list[dict[str, object]] = []
+    if isinstance(records, list):
+        for record in records:
+            if isinstance(record, dict) and not record.get("converged", True):
+                failures.append(record)
+    return failures

@@ -20,6 +20,13 @@ step1 kernels are additionally checked for exact equality against the
 references, so the speedup never comes at the cost of a changed result;
 ``--check`` (with ``--min-step1-speedup``) turns those checks into a
 nonzero exit status for CI.
+
+Besides the timing loops, every run makes one *instrumented, untimed*
+pass over the optimised kernels under a :class:`repro.obs.Recorder` and
+embeds the per-kernel span statistics, counters and convergence records
+under the document's ``observability`` key.  ``--trace PATH`` writes the
+full span tree of that pass as a trace JSON, and ``--check`` also fails
+when any iterative kernel reported ``converged=False``.
 """
 
 from __future__ import annotations
@@ -31,9 +38,13 @@ import sys
 import time
 from typing import Callable
 
+from repro import obs
 from repro.affinity import AffinityEstimator
 from repro.common.validation import require_positive
+from repro.community import Community
 from repro.datasets import CommunityProfile, generate_community
+from repro.matrix import UserCategoryMatrix, UserPairMatrix
+from repro.obs.report import aggregate_spans
 from repro.perf.reference import (
     reference_derive_trust,
     reference_eigen_trust,
@@ -57,6 +68,26 @@ def _best_of(callable_: Callable[[], object], repeats: int) -> tuple[float, obje
     return best, result
 
 
+def _traced_pass(
+    community: Community,
+    affiliation: UserCategoryMatrix,
+    expertise: UserCategoryMatrix,
+    connections: UserPairMatrix,
+) -> dict:
+    """One instrumented, untimed pass over each kernel.
+
+    Runs outside the timing loops so the recorder never perturbs the
+    measured speedups; under ``REPRO_TRACE=0`` the recorder stays null and
+    the document comes back empty.
+    """
+    recorder = obs.Recorder()
+    with obs.use_recorder(recorder):
+        ExpertiseEstimator().fit(community)
+        TrustDeriver().derive(affiliation, expertise)
+        eigen_trust(connections)
+    return recorder.to_dict()
+
+
 def run_kernel_bench(
     *,
     num_users: int = 2000,
@@ -64,6 +95,7 @@ def run_kernel_bench(
     repeats: int = 3,
     out_path: str | None = None,
     quick: bool = False,
+    trace_path: str | None = None,
 ) -> dict:
     """Benchmark the kernel layer and optionally write ``BENCH_perf.json``.
 
@@ -117,6 +149,10 @@ def run_kernel_bench(
             "speedup": round(before / after, 2) if after > 0 else None,
         }
 
+    # --- instrumented pass: per-kernel span stats + convergence ----------
+    trace_document = _traced_pass(community, affiliation, expertise, connections)
+    span_stats = aggregate_spans(trace_document.get("spans", []))
+
     document = {
         "config": {
             "num_users": num_users,
@@ -134,7 +170,17 @@ def run_kernel_bench(
         },
         "derive_matrices_identical": bool(matrices_equal),
         "step1_matrices_identical": bool(step1_equal),
+        "observability": {
+            "trace_enabled": obs.TRACE_ENABLED,
+            "spans": {name: stat.to_dict() for name, stat in sorted(span_stats.items())},
+            "counters": trace_document.get("counters", {}),
+            "convergence": trace_document.get("convergence", []),
+        },
     }
+    if trace_path:
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            json.dump(trace_document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
@@ -150,6 +196,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_perf.json", help="output JSON path")
     parser.add_argument(
         "--quick", action="store_true", help="small smoke configuration for CI"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also write the full repro.obs trace of the instrumented pass "
+        "(render with `python -m repro.obs.report PATH`)",
     )
     parser.add_argument(
         "--check",
@@ -170,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         out_path=args.out,
         quick=args.quick,
+        trace_path=args.trace,
     )
     json.dump(document, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
@@ -185,6 +238,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"step1_fit speedup {step1_speedup} below floor "
                 f"{args.min_step1_speedup}"
             )
+        for record in document["observability"]["convergence"]:
+            if not record.get("converged", True):
+                failures.append(
+                    f"kernel {record.get('kernel')} did not converge "
+                    f"({record.get('iterations')} iterations, "
+                    f"residual {record.get('residual')})"
+                )
         if failures:
             for failure in failures:
                 print(f"perf check failed: {failure}", file=sys.stderr)

@@ -19,9 +19,12 @@ instead of Python loops over successor lists.  Pass a
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.common.errors import ConvergenceError, ValidationError
+from repro import obs
+from repro.common.errors import ValidationError
 from repro.common.validation import require_in_range, require_positive
 from repro.propagation._adjacency import TrustWeb, as_pair_matrix
 from repro.propagation.scores import PropagationScores
@@ -59,7 +62,10 @@ def appleseed(
         ``{node: rank}`` over the nodes that received energy (the dense
         vector on :meth:`~PropagationScores.scores_array` covers the whole
         axis, zero elsewhere); the source itself keeps rank 0 (it only
-        distributes).
+        distributes).  Carries convergence telemetry (``converged`` /
+        ``iterations`` / ``residual``); hitting the ``max_iterations`` cap
+        emits a :class:`RuntimeWarning` and returns the unconverged ranks
+        with ``converged=False`` instead of raising.
     """
     matrix = as_pair_matrix(web, weight_key=weight_key)
     users = matrix.users
@@ -72,40 +78,62 @@ def appleseed(
     n = len(users)
     src = users.position(source)
 
-    # positive-weight edge arrays (zero/negative edges carry no energy)
-    adjacency = matrix.csr()
-    edge_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(adjacency.indptr))
-    positive = adjacency.data > 0.0
-    edge_rows = edge_rows[positive]
-    edge_cols = adjacency.indices[positive]
-    # each edge's fraction of its row's outgoing weight
-    out_weight = np.bincount(edge_rows, weights=adjacency.data[positive], minlength=n)
-    edge_share = adjacency.data[positive] / np.where(out_weight > 0, out_weight, 1.0)[edge_rows]
+    with obs.span("propagation.appleseed", users=n, source=source):
+        # positive-weight edge arrays (zero/negative edges carry no energy)
+        adjacency = matrix.csr()
+        edge_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(adjacency.indptr))
+        positive = adjacency.data > 0.0
+        edge_rows = edge_rows[positive]
+        edge_cols = adjacency.indices[positive]
+        # each edge's fraction of its row's outgoing weight
+        out_weight = np.bincount(edge_rows, weights=adjacency.data[positive], minlength=n)
+        edge_share = adjacency.data[positive] / np.where(out_weight > 0, out_weight, 1.0)[edge_rows]
 
-    keep_factor = 1.0 - spreading_factor
-    rank = np.zeros(n, dtype=np.float64)
-    incoming = np.zeros(n, dtype=np.float64)
-    incoming[src] = energy
-    received = np.zeros(n, dtype=bool)
-    received[src] = True
+        keep_factor = 1.0 - spreading_factor
+        rank = np.zeros(n, dtype=np.float64)
+        incoming = np.zeros(n, dtype=np.float64)
+        incoming[src] = energy
+        received = np.zeros(n, dtype=bool)
+        received[src] = True
 
-    for _ in range(max_iterations):
-        received |= incoming > 0.0
-        # every node except the source retains its share as rank ...
-        retained = keep_factor * incoming
-        retained[src] = 0.0
-        rank += retained
-        # ... and forwards the rest (the source forwards everything)
-        forwarded = spreading_factor * incoming
-        forwarded[src] = incoming[src]
-        shares = forwarded[edge_rows] * edge_share
-        max_flow = float(shares.max()) if shares.size else 0.0
-        incoming = np.bincount(edge_cols, weights=shares, minlength=n)
-        if max_flow < tolerance:
-            return PropagationScores(users, rank, present=received)
-    raise ConvergenceError(
-        f"Appleseed did not converge in {max_iterations} iterations",
-        iterations=max_iterations,
-        residual=max_flow,
-        tolerance=tolerance,
-    )
+        converged = False
+        iterations = 0
+        max_flow = float("inf")
+        for iterations in range(1, max_iterations + 1):
+            received |= incoming > 0.0
+            # every node except the source retains its share as rank ...
+            retained = keep_factor * incoming
+            retained[src] = 0.0
+            rank += retained
+            # ... and forwards the rest (the source forwards everything)
+            forwarded = spreading_factor * incoming
+            forwarded[src] = incoming[src]
+            shares = forwarded[edge_rows] * edge_share
+            max_flow = float(shares.max()) if shares.size else 0.0
+            incoming = np.bincount(edge_cols, weights=shares, minlength=n)
+            if max_flow < tolerance:
+                converged = True
+                break
+        obs.convergence(
+            "propagation.appleseed",
+            iterations=iterations,
+            residual=max_flow,
+            tolerance=tolerance,
+            converged=converged,
+        )
+        if not converged:
+            warnings.warn(
+                f"Appleseed stopped at the max_iterations cap ({max_iterations}) "
+                f"with flowing energy {max_flow:.3e} > tolerance {tolerance:.3e}; "
+                f"returning the unconverged ranks (converged=False)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return PropagationScores(
+            users,
+            rank,
+            present=received,
+            converged=converged,
+            iterations=iterations,
+            residual=max_flow,
+        )

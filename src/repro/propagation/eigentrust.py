@@ -23,11 +23,14 @@ once.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.common.arrays import FloatArray
-from repro.common.errors import ConvergenceError, ValidationError
+from repro.common.errors import ValidationError
 from repro.common.validation import require_fraction, require_positive
 from repro.matrix import LabelIndex
 from repro.propagation._adjacency import TrustWeb, as_pair_matrix
@@ -64,7 +67,10 @@ def eigen_trust(
     PropagationScores
         Trust per node, summing to 1; usable as a ``{node: trust}``
         mapping, with the dense vector on :meth:`~PropagationScores.scores_array`
-        (empty graph -> empty scores).
+        (empty graph -> empty scores).  Carries convergence telemetry
+        (``converged`` / ``iterations`` / ``residual``); hitting the
+        ``max_iterations`` cap emits a :class:`RuntimeWarning` and returns
+        the unconverged scores with ``converged=False`` instead of raising.
     """
     require_fraction("alpha", alpha)
     require_positive("tolerance", tolerance)
@@ -76,37 +82,54 @@ def eigen_trust(
     if n == 0:
         return PropagationScores(LabelIndex(()), np.zeros(0))
 
-    adjacency = matrix.csr()
-    if adjacency.nnz and adjacency.data.size and float(adjacency.data.min()) < 0.0:
-        raise ValidationError("EigenTrust requires non-negative edge weights")
+    with obs.span("propagation.eigentrust", users=n):
+        adjacency = matrix.csr()
+        if adjacency.nnz and adjacency.data.size and float(adjacency.data.min()) < 0.0:
+            raise ValidationError("EigenTrust requires non-negative edge weights")
 
-    p = _pretrust_vector(pretrust, users)
+        p = _pretrust_vector(pretrust, users)
 
-    row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
-    dangling = row_sums == 0.0
-    inverse = np.where(dangling, 0.0, 1.0 / np.where(dangling, 1.0, row_sums))
-    # column-oriented form of the row-normalised matrix, so each sweep is
-    # one sparse mat-vec
-    spread_op = sparse.diags(inverse).dot(adjacency).T.tocsr()
+        row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
+        dangling = row_sums == 0.0
+        inverse = np.where(dangling, 0.0, 1.0 / np.where(dangling, 1.0, row_sums))
+        # column-oriented form of the row-normalised matrix, so each sweep is
+        # one sparse mat-vec
+        spread_op = sparse.diags(inverse).dot(adjacency).T.tocsr()
 
-    t = p.copy()
-    for _ in range(max_iterations):
-        # dangling users are treated as trusting the pre-trusted peers
-        spread = spread_op @ t + p * float(t[dangling].sum())
-        new_t = (1.0 - alpha) * spread + alpha * p
-        total = new_t.sum()
-        if total > 0:
-            new_t = new_t / total
-        residual = float(np.abs(new_t - t).max())
-        t = new_t
-        if residual < tolerance:
-            return PropagationScores(users, t)
-    raise ConvergenceError(
-        f"EigenTrust did not converge in {max_iterations} iterations",
-        iterations=max_iterations,
-        residual=residual,
-        tolerance=tolerance,
-    )
+        t = p.copy()
+        converged = False
+        iterations = 0
+        residual = float("inf")
+        for iterations in range(1, max_iterations + 1):
+            # dangling users are treated as trusting the pre-trusted peers
+            spread = spread_op @ t + p * float(t[dangling].sum())
+            new_t = (1.0 - alpha) * spread + alpha * p
+            total = new_t.sum()
+            if total > 0:
+                new_t = new_t / total
+            residual = float(np.abs(new_t - t).max())
+            t = new_t
+            if residual < tolerance:
+                converged = True
+                break
+        obs.convergence(
+            "propagation.eigentrust",
+            iterations=iterations,
+            residual=residual,
+            tolerance=tolerance,
+            converged=converged,
+        )
+        if not converged:
+            warnings.warn(
+                f"EigenTrust stopped at the max_iterations cap ({max_iterations}) "
+                f"with residual {residual:.3e} > tolerance {tolerance:.3e}; "
+                f"returning the unconverged scores (converged=False)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return PropagationScores(
+            users, t, converged=converged, iterations=iterations, residual=residual
+        )
 
 
 def _pretrust_vector(pretrust: dict[str, float] | None, users: LabelIndex) -> FloatArray:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.common.errors import ValidationError
 from repro.common.validation import require_non_negative, require_positive
 from repro.matrix import UserPairMatrix
@@ -86,31 +87,42 @@ def guha_propagation(
         require_positive("top_k", top_k)
     weights = weights or GuhaWeights()
 
-    base = trust.csr()
-    transpose = base.T.tocsr()
-    combined = (
-        weights.direct * base
-        + weights.co_citation * (transpose @ base)
-        + weights.transpose * transpose
-        + weights.coupling * (base @ transpose)
-    ).tocsr()
+    with obs.span("propagation.guha", users=len(trust.users), steps=steps):
+        base = trust.csr()
+        transpose = base.T.tocsr()
+        combined = (
+            weights.direct * base
+            + weights.co_citation * (transpose @ base)
+            + weights.transpose * transpose
+            + weights.coupling * (base @ transpose)
+        ).tocsr()
 
-    accumulated = sparse.csr_matrix(base.shape)
-    power = sparse.identity(base.shape[0], format="csr")
-    factor = 1.0
-    for step in range(1, steps + 1):
-        power = (power @ combined).tocsr()
-        accumulated = accumulated + factor * power
-        factor *= decay
+        accumulated = sparse.csr_matrix(base.shape)
+        power = sparse.identity(base.shape[0], format="csr")
+        factor = 1.0
+        for step in range(1, steps + 1):
+            power = (power @ combined).tocsr()
+            accumulated = accumulated + factor * power
+            factor *= decay
 
-    accumulated = accumulated.tolil()
-    accumulated.setdiag(0.0)
-    result_csr = accumulated.tocsr()
-    result_csr.eliminate_zeros()
+        accumulated = accumulated.tolil()
+        accumulated.setdiag(0.0)
+        result_csr = accumulated.tocsr()
+        result_csr.eliminate_zeros()
 
-    if top_k is not None:
-        result_csr = _keep_row_top_k(result_csr, top_k)
-    return UserPairMatrix.from_csr(result_csr, trust.users)
+        if top_k is not None:
+            result_csr = _keep_row_top_k(result_csr, top_k)
+        # Guha propagation runs a fixed number of accumulation rounds --
+        # always "converged", recorded so traces cover all four kernels.
+        obs.convergence(
+            "propagation.guha",
+            iterations=steps,
+            residual=0.0,
+            tolerance=0.0,
+            converged=True,
+            propagated_entries=int(result_csr.nnz),
+        )
+        return UserPairMatrix.from_csr(result_csr, trust.users)
 
 
 def _keep_row_top_k(matrix: sparse.csr_matrix, top_k: int) -> sparse.csr_matrix:

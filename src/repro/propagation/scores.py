@@ -42,15 +42,26 @@ class PropagationScores(Mapping[str, float]):
         Optional boolean mask over the axis; positions where it is
         ``False`` are absent from the mapping view (and read as 0 in
         :meth:`scores_array`).  ``None`` means every node is present.
+    converged:
+        Whether the producing iteration reached its tolerance.  ``False``
+        marks scores returned at the ``max_iterations`` cap -- usable,
+        but an approximation the caller should not silently trust.
+    iterations / residual:
+        Convergence telemetry of the producing iteration (``None`` for
+        non-iterative producers).
     """
 
-    __slots__ = ("users", "_values", "_present")
+    __slots__ = ("users", "_values", "_present", "converged", "iterations", "residual")
 
     def __init__(
         self,
         users: LabelIndex,
         values: FloatArray,
         present: BoolArray | None = None,
+        *,
+        converged: bool = True,
+        iterations: int | None = None,
+        residual: float | None = None,
     ) -> None:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (len(users),):
@@ -68,6 +79,9 @@ class PropagationScores(Mapping[str, float]):
         self.users = users
         self._values = values
         self._present = present
+        self.converged = bool(converged)
+        self.iterations = iterations
+        self.residual = residual
 
     # ------------------------------------------------------------- vector view
 

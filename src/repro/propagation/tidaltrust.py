@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.common.arrays import AnyArray
 from repro.common.errors import ValidationError
+from repro.matrix import LabelIndex, UserPairMatrix
 from repro.propagation._adjacency import TrustWeb, as_pair_matrix
 
 __all__ = ["tidal_trust"]
@@ -50,8 +52,30 @@ def tidal_trust(
     users = matrix.users
     if source not in users or sink not in users:
         raise ValidationError(f"source {source!r} and sink {sink!r} must be graph nodes")
+    with obs.span("propagation.tidaltrust", users=len(users), source=source, sink=sink):
+        value, depth = _infer(matrix, users, source, sink)
+        # TidalTrust is not iterative: the "iterations" of its telemetry
+        # record is the shortest-path depth it back-propagated over.
+        obs.convergence(
+            "propagation.tidaltrust",
+            iterations=depth,
+            residual=0.0,
+            tolerance=0.0,
+            converged=True,
+            path_found=value is not None,
+        )
+        return value
+
+
+def _infer(
+    matrix: UserPairMatrix,
+    users: LabelIndex,
+    source: str,
+    sink: str,
+) -> tuple[float | None, int]:
+    """The three TidalTrust phases; returns ``(inferred value, path depth)``."""
     if source == sink:
-        return 1.0
+        return 1.0, 0
 
     adjacency = matrix.csr()
     indptr, indices, data = adjacency.indptr, adjacency.indices, adjacency.data
@@ -61,11 +85,11 @@ def tidal_trust(
 
     direct = indices[indptr[src] : indptr[src + 1]] == snk
     if direct.any():
-        return float(data[indptr[src] : indptr[src + 1]][direct][0])
+        return float(data[indptr[src] : indptr[src + 1]][direct][0]), 1
 
     forward = _bfs_levels(indptr, indices, n, src, until=snk)
     if forward is None:
-        return None
+        return None, 0
     depth_from_source, sink_depth = forward
 
     csc = adjacency.tocsc()
@@ -110,7 +134,9 @@ def tidal_trust(
         inferred[settled] = numerator[settled] / denominator[settled]
 
     value = inferred[src]
-    return None if np.isnan(value) else float(value)
+    if np.isnan(value):
+        return None, sink_depth
+    return float(value), sink_depth
 
 
 def _edge_positions(

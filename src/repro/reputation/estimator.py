@@ -29,6 +29,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.common.validation import require_positive
 from repro.community import Community
 from repro.matrix import LabelIndex, UserCategoryMatrix
@@ -132,8 +133,23 @@ class ExpertiseEstimator:
             solve (e.g. a previous fit on a slightly older community).
         """
         if self.n_jobs == 1 and not self.reuse_warm_start:
-            return self._fit_batched(community, warm_start)
+            with obs.span("step1.fit", mode="batched", users=community.num_users()):
+                return self._fit_batched(community, warm_start)
 
+        with obs.span(
+            "step1.fit",
+            mode="per-category",
+            users=community.num_users(),
+            n_jobs=self.n_jobs,
+        ):
+            return self._fit_per_category(community, warm_start)
+
+    def _fit_per_category(
+        self,
+        community: Community,
+        warm_start: Mapping[str, float] | None,
+    ) -> ExpertiseResult:
+        """Step 1 via per-category solves (thread pool / warm-start modes)."""
         users = LabelIndex(community.user_ids())
         categories = LabelIndex(community.category_ids())
         expertise = UserCategoryMatrix(users, categories)
@@ -249,9 +265,21 @@ class ExpertiseEstimator:
         category_id: str,
         warm_start: Mapping[str, float] | None = None,
     ) -> CategoryFixedPoint:
-        return solve_category(
-            # repro: allow(R2): legacy per-category path (thread pool / warm-start)
-            community.rating_triples(category_id),
-            self.config,
-            warm_start=warm_start,
-        )
+        with obs.span("step1.solve", category=category_id):
+            fixed_point = solve_category(
+                # repro: allow(R2): legacy per-category path (thread pool / warm-start)
+                community.rating_triples(category_id),
+                self.config,
+                warm_start=warm_start,
+            )
+        if obs.tracing_active():
+            obs.convergence(
+                "step1.riggs",
+                iterations=fixed_point.iterations,
+                residual=fixed_point.residual,
+                tolerance=self.config.tolerance,
+                converged=True,
+                category=category_id,
+            )
+            obs.observe("step1.sweeps", float(fixed_point.iterations))
+        return fixed_point

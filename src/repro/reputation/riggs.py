@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Protocol, Sequenc
 
 import numpy as np
 
+from repro import obs
 from repro.common.arrays import FloatArray, IntArray
 from repro.common.contracts import array_spec, checked_arrays
 from repro.common.errors import ConvergenceError, ValidationError
@@ -214,10 +215,13 @@ def solve_category(
 
     reputation = np.full(num_raters, cfg.initial_reputation, dtype=np.float64)
     if warm_start:
+        warm_hits = 0
         for i, rater_id in enumerate(rater_ids):
             previous = warm_start.get(rater_id)
             if previous is not None:
                 reputation[i] = min(1.0, max(0.0, float(previous)))
+                warm_hits += 1
+        obs.add("step1.warm_start_hits", warm_hits)
     quality = np.zeros(num_reviews, dtype=np.float64)
 
     iterations = 0
@@ -650,26 +654,45 @@ def solve_all_categories(
     reputation = np.full(len(uniq_keys), cfg.initial_reputation, dtype=np.float64)
     if warm_start:
         labels = columns.users.labels
+        warm_hits = 0
         for slot, user in enumerate(rater_slot_user.tolist()):
             previous = warm_start.get(labels[user])
             if previous is not None:
                 reputation[slot] = min(1.0, max(0.0, float(previous)))
+                warm_hits += 1
+        obs.add("step1.warm_start_hits", warm_hits)
 
-    quality, reputation, counts, seg_iterations, seg_residuals = _segmented_solve(
-        rater_slot.astype(np.int64),
-        review_slot,
-        values,
-        num_rater_slots=len(uniq_keys),
-        num_review_slots=len(rated),
-        row_cat=row_cat,
-        rater_slot_cat=rater_slot_cat,
-        review_slot_cat=review_slot_cat,
-        num_segments=len(nonempty),
-        cfg=cfg,
-        reputation=reputation,
-    )
+    with obs.span(
+        "step1.solve_all", categories=len(nonempty), ratings=len(values)
+    ):
+        quality, reputation, counts, seg_iterations, seg_residuals = _segmented_solve(
+            rater_slot.astype(np.int64),
+            review_slot,
+            values,
+            num_rater_slots=len(uniq_keys),
+            num_review_slots=len(rated),
+            row_cat=row_cat,
+            rater_slot_cat=rater_slot_cat,
+            review_slot_cat=review_slot_cat,
+            num_segments=len(nonempty),
+            cfg=cfg,
+            reputation=reputation,
+        )
     iterations[nonempty] = seg_iterations
     residuals[nonempty] = seg_residuals
+    if obs.tracing_active():
+        # per-category convergence telemetry (the batched solver converges
+        # or raises, so these records always carry converged=True)
+        for c in nonempty.tolist():
+            obs.convergence(
+                "step1.riggs",
+                iterations=int(iterations[c]),
+                residual=float(residuals[c]),
+                tolerance=cfg.tolerance,
+                converged=True,
+                category=categories[c],
+            )
+            obs.observe("step1.sweeps", float(iterations[c]))
     return BatchedFixedPoints(
         categories=categories,
         users=columns.users,

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import ValidationError
 from repro.common.validation import require_non_negative, require_positive
 from repro.matrix import UserCategoryMatrix, UserPairMatrix
@@ -70,24 +71,36 @@ class TrustDeriver:
         """
         _require_aligned(affiliation, expertise)
         users = affiliation.users
-        a_values = affiliation.values_view()
-        e_transposed = expertise.values_view().T.copy()  # C x U, contiguous
+        with obs.span(
+            "derive.trust",
+            users=len(users),
+            categories=len(affiliation.categories),
+            block_size=self.block_size,
+        ):
+            a_values = affiliation.values_view()
+            e_transposed = expertise.values_view().T.copy()  # C x U, contiguous
 
-        row_sums = a_values.sum(axis=1)
-        active_rows = np.nonzero(row_sums > 0.0)[0]
+            row_sums = a_values.sum(axis=1)
+            active_rows = np.nonzero(row_sums > 0.0)[0]
 
-        result = UserPairMatrix(users)
-        for start in range(0, len(active_rows), self.block_size):
-            block_rows = active_rows[start : start + self.block_size]
-            weights = a_values[block_rows, :] / row_sums[block_rows, None]
-            block = weights @ e_transposed  # block x U
-            mask = block > self.min_value
-            if not self.include_self:
-                mask[np.arange(block_rows.size), block_rows] = False
-            local, cols = np.nonzero(mask)
-            if local.size:
-                result.set_block(block_rows[local], cols, block[local, cols])
-        return result
+            result = UserPairMatrix(users)
+            stored = 0
+            blocks = 0
+            for start in range(0, len(active_rows), self.block_size):
+                blocks += 1
+                block_rows = active_rows[start : start + self.block_size]
+                weights = a_values[block_rows, :] / row_sums[block_rows, None]
+                block = weights @ e_transposed  # block x U
+                mask = block > self.min_value
+                if not self.include_self:
+                    mask[np.arange(block_rows.size), block_rows] = False
+                local, cols = np.nonzero(mask)
+                if local.size:
+                    result.set_block(block_rows[local], cols, block[local, cols])
+                    stored += int(local.size)
+            obs.add("derive.blocks", blocks)
+            obs.add("derive.entries_stored", stored)
+            return result
 
     def derive_for_pairs(
         self,
@@ -103,30 +116,32 @@ class TrustDeriver:
         """
         _require_aligned(affiliation, expertise)
         users = affiliation.users
-        a_values = affiliation.values_view()
-        e_values = expertise.values_view()
-        row_sums = a_values.sum(axis=1)
+        with obs.span("derive.pairs", users=len(users), pairs=len(pairs)):
+            a_values = affiliation.values_view()
+            e_values = expertise.values_view()
+            row_sums = a_values.sum(axis=1)
 
-        result = UserPairMatrix(users)
-        pair_list = list(pairs)
-        if not pair_list:
+            result = UserPairMatrix(users)
+            pair_list = list(pairs)
+            if not pair_list:
+                return result
+            sources = users.positions(s for s, _ in pair_list)
+            targets = users.positions(t for _, t in pair_list)
+            if not self.include_self:
+                off_diagonal = sources != targets
+                sources, targets = sources[off_diagonal], targets[off_diagonal]
+            if not sources.size:
+                return result
+            # gathered-row dot products: one einsum over the whole support set
+            numerators = np.einsum("kc,kc->k", a_values[sources], e_values[targets])
+            denominators = row_sums[sources]
+            active = denominators > 0.0
+            values = np.where(
+                active, numerators / np.where(active, denominators, 1.0), 0.0
+            )
+            result.set_block(sources, targets, values)
+            obs.add("derive.entries_stored", int(sources.size))
             return result
-        sources = users.positions(s for s, _ in pair_list)
-        targets = users.positions(t for _, t in pair_list)
-        if not self.include_self:
-            off_diagonal = sources != targets
-            sources, targets = sources[off_diagonal], targets[off_diagonal]
-        if not sources.size:
-            return result
-        # gathered-row dot products: one einsum over the whole support set
-        numerators = np.einsum("kc,kc->k", a_values[sources], e_values[targets])
-        denominators = row_sums[sources]
-        active = denominators > 0.0
-        values = np.where(
-            active, numerators / np.where(active, denominators, 1.0), 0.0
-        )
-        result.set_block(sources, targets, values)
-        return result
 
 
 def derive_trust(

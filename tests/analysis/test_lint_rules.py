@@ -352,6 +352,91 @@ class TestR5StrictAnnotations:
         assert lint(source, "src/repro/datasets/x.py") == []
         assert lint(source) == []
 
+    def test_obs_package_is_strict_typed(self):
+        findings = lint(
+            """
+            def f(x):
+                return x
+            """,
+            "src/repro/obs/example.py",
+        )
+        assert rules_of(findings) == ["R5"]
+
+
+# --------------------------------------------------------------------------- R6
+
+
+class TestR6ContextManagedSpans:
+    def test_fires_on_bare_span_call(self):
+        findings = lint(
+            """
+            def f(obs):
+                handle = obs.span("step1.fit")
+                work()
+            """
+        )
+        assert rules_of(findings) == ["R6"]
+        assert "with-item" in findings[0].message
+
+    def test_fires_on_bare_module_level_span(self):
+        findings = lint(
+            """
+            def f():
+                span("step1.fit")
+            """
+        )
+        assert rules_of(findings) == ["R6"]
+
+    def test_with_statement_is_clean(self):
+        findings = lint(
+            """
+            def f(obs):
+                with obs.span("step1.fit", mode="batched"):
+                    work()
+            """
+        )
+        assert findings == []
+
+    def test_with_as_target_is_clean(self):
+        findings = lint(
+            """
+            def f(obs):
+                with obs.span("step1.fit") as record:
+                    return record
+            """
+        )
+        assert findings == []
+
+    def test_enter_context_is_clean(self):
+        findings = lint(
+            """
+            def f(obs, stack):
+                stack.enter_context(obs.span("step1.fit"))
+            """
+        )
+        assert findings == []
+
+    def test_fires_on_start_stop_span(self):
+        findings = lint(
+            """
+            def f(obs):
+                obs.start_span("step1.fit")
+                work()
+                obs.stop_span()
+            """
+        )
+        assert rules_of(findings) == ["R6", "R6"]
+        assert "start_span" in findings[0].message
+
+    def test_waiver_applies(self):
+        findings = lint(
+            """
+            def f(obs):
+                return obs.span("step1.fit")  # repro: allow(R6): factory shim
+            """
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------- waivers etc.
 

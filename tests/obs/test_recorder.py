@@ -1,0 +1,235 @@
+"""Unit tests for the recorder core: spans, counters, convergence records.
+
+A fake monotonic clock makes every duration deterministic, so the span
+tree's timings (not just its shape) are asserted exactly.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import (
+    ConvergenceRecord,
+    NullRecorder,
+    Recorder,
+    convergence_failures,
+)
+
+
+class FakeClock:
+    """Monotonic clock advancing 1.0 per call."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        value = self.now
+        self.now += 1.0
+        return value
+
+
+@pytest.fixture
+def recorder():
+    return Recorder(clock=FakeClock())
+
+
+class TestSpanTree:
+    def test_nesting_matches_with_structure(self, recorder):
+        with recorder.span("outer"):
+            with recorder.span("inner.a"):
+                pass
+            with recorder.span("inner.b"):
+                pass
+
+        assert [root.name for root in recorder.roots] == ["outer"]
+        outer = recorder.roots[0]
+        assert [child.name for child in outer.children] == ["inner.a", "inner.b"]
+
+    def test_sibling_order_is_call_order(self, recorder):
+        with recorder.span("root"):
+            for i in range(5):
+                with recorder.span(f"child.{i}"):
+                    pass
+        names = [c.name for c in recorder.roots[0].children]
+        assert names == [f"child.{i}" for i in range(5)]
+
+    def test_durations_from_injected_clock(self, recorder):
+        # clock ticks: origin=0, outer start=1, inner start=2, inner end=3,
+        # outer end=4 -> inner duration 1, outer duration 3, self 2
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        outer = recorder.roots[0]
+        inner = outer.children[0]
+        assert inner.duration_s() == 1.0
+        assert outer.duration_s() == 3.0
+        assert outer.self_s() == 2.0
+
+    def test_attributes_survive_to_dict(self, recorder):
+        with recorder.span("solve", category="c1", users=10, quick=True):
+            pass
+        doc = recorder.roots[0].to_dict(origin_s=0.0)
+        assert doc["attributes"] == {"category": "c1", "users": 10, "quick": True}
+
+    def test_open_span_marked_incomplete(self, recorder):
+        handle = recorder.span("crashing")
+        handle.__enter__()
+        doc = recorder.to_dict()
+        assert doc["spans"][0]["incomplete"] is True
+        assert doc["spans"][0]["duration_s"] == 0.0
+
+    def test_exception_still_closes_span(self, recorder):
+        with pytest.raises(ValueError):
+            with recorder.span("fails"):
+                raise ValueError("boom")
+        assert recorder.roots[0].end_s is not None
+
+    def test_threads_record_separate_roots(self):
+        recorder = Recorder()
+
+        def worker(i):
+            with recorder.span(f"worker.{i}"):
+                pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(r.name for r in recorder.roots) == [
+            f"worker.{i}" for i in range(4)
+        ]
+        assert all(not r.children for r in recorder.roots)
+
+
+class TestCountersAndHistograms:
+    def test_counters_accumulate(self, recorder):
+        recorder.add("hits")
+        recorder.add("hits", 2)
+        recorder.add("misses", 0.5)
+        assert recorder.counters == {"hits": 3, "misses": 0.5}
+
+    def test_histogram_summary(self, recorder):
+        for v in (1.0, 3.0, 2.0):
+            recorder.observe("sweeps", v)
+        summary = recorder.to_dict()["histograms"]["sweeps"]
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+        assert summary["values"] == [1.0, 3.0, 2.0]
+
+    def test_convergence_records(self, recorder):
+        recorder.convergence(
+            "kernel.x", iterations=7, residual=1e-12, tolerance=1e-10,
+            converged=True, category="c0",
+        )
+        record = recorder.convergence_records[0]
+        assert record == ConvergenceRecord(
+            kernel="kernel.x", iterations=7, residual=1e-12, tolerance=1e-10,
+            converged=True, attributes={"category": "c0"},
+        )
+
+    def test_convergence_failures_helper(self, recorder):
+        recorder.convergence(
+            "good", iterations=3, residual=0.0, tolerance=1e-10, converged=True
+        )
+        recorder.convergence(
+            "bad", iterations=99, residual=0.5, tolerance=1e-10, converged=False
+        )
+        failures = convergence_failures(recorder.to_dict())
+        assert [f["kernel"] for f in failures] == ["bad"]
+
+
+class TestDump:
+    def test_write_round_trips_as_json(self, recorder, tmp_path):
+        with recorder.span("a", users=3):
+            recorder.add("n")
+        path = tmp_path / "trace.json"
+        recorder.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert doc["spans"][0]["name"] == "a"
+        assert doc["counters"] == {"n": 1}
+
+    def test_counters_sorted_in_document(self, recorder):
+        recorder.add("zz")
+        recorder.add("aa")
+        assert list(recorder.to_dict()["counters"]) == ["aa", "zz"]
+
+
+class TestNullRecorder:
+    def test_all_operations_are_noops(self):
+        null = NullRecorder()
+        assert null.active is False
+        with null.span("anything", users=1) as record:
+            assert record is None
+        null.add("counter")
+        null.observe("hist", 1.0)
+        null.convergence(
+            "k", iterations=1, residual=0.0, tolerance=0.0, converged=True
+        )
+
+    def test_span_handle_is_shared(self):
+        null = NullRecorder()
+        assert null.span("a") is null.span("b")
+
+
+class TestModuleApi:
+    def test_default_recorder_is_null(self):
+        assert isinstance(obs.get_recorder(), NullRecorder)
+        assert obs.tracing_active() is False
+
+    def test_use_recorder_scopes_and_restores(self):
+        recorder = Recorder()
+        with obs.use_recorder(recorder):
+            assert obs.get_recorder() is recorder
+            assert obs.tracing_active() is True
+            with obs.span("via.module", tag="x"):
+                obs.add("module.counter")
+            obs.observe("module.hist", 2.0)
+            obs.convergence(
+                "module.kernel", iterations=1, residual=0.0,
+                tolerance=1e-10, converged=True,
+            )
+        assert isinstance(obs.get_recorder(), NullRecorder)
+        assert [r.name for r in recorder.roots] == ["via.module"]
+        assert recorder.counters == {"module.counter": 1}
+        assert recorder.convergence_records[0].kernel == "module.kernel"
+
+    def test_nested_use_recorder_restores_outer(self):
+        outer, inner = Recorder(), Recorder()
+        with obs.use_recorder(outer):
+            with obs.use_recorder(inner):
+                assert obs.get_recorder() is inner
+            assert obs.get_recorder() is outer
+
+    def test_compiled_out_pins_null_recorder(self, monkeypatch):
+        monkeypatch.setattr(obs, "TRACE_ENABLED", False)
+        recorder = Recorder()
+        with obs.use_recorder(recorder):
+            assert isinstance(obs.get_recorder(), NullRecorder)
+            with obs.span("ignored"):
+                obs.add("ignored")
+        assert recorder.roots == []
+        assert recorder.counters == {}
+
+    def test_env_var_read_at_import(self):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ, REPRO_TRACE="0", PYTHONPATH=src)
+        code = (
+            "from repro import obs\n"
+            "assert obs.TRACE_ENABLED is False\n"
+            "obs.set_recorder(obs.Recorder())\n"
+            "assert obs.tracing_active() is False\n"
+        )
+        subprocess.run([sys.executable, "-c", code], env=env, check=True)
