@@ -90,12 +90,17 @@ def test_bench_emitter_quick_mode(tmp_path):
     assert out.exists()
     assert document["derive_matrices_identical"]
     assert document["step1_matrices_identical"]
+    assert document["incremental_identical"]
     assert set(document["kernels"]) == {
         "derive",
         "step1_fit",
         "step1_fit_batched",
         "propagation_eigentrust",
+        "incremental",
     }
+    incremental = document["kernels"]["incremental"]
+    assert incremental["batch"] == 1
+    assert incremental["stream"] >= 1
 
 
 def test_perf_generation_scales(benchmark):

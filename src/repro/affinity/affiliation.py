@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.community import Community
-from repro.matrix import LabelIndex, UserCategoryMatrix
+from repro.matrix import UserCategoryMatrix
 
 __all__ = ["AffinityConfig", "AffinityEstimator", "affiliation_matrix"]
 
@@ -49,21 +49,17 @@ class AffinityEstimator:
         A user with no activity of a given kind contributes 0 for that term
         (the paper's max-normalisation is 0/0 there; zero is the only value
         consistent with "no affinity evidence").
+
+        Counts come from the community's columnar snapshot, so a delta-aware
+        ``columns()`` refresh makes repeated fits after small mutations
+        cheap; the float arithmetic on the full count matrices is unchanged,
+        keeping the result bitwise independent of the cache state.
         """
-        users = LabelIndex(community.user_ids())
-        categories = LabelIndex(community.category_ids())
-        num_users, num_categories = len(users), len(categories)
-
-        rating_counts = np.zeros((num_users, num_categories), dtype=np.float64)
-        writing_counts = np.zeros((num_users, num_categories), dtype=np.float64)
-        for c_pos, category_id in enumerate(categories):
-            for user_id, count in community.rating_counts(category_id).items():
-                rating_counts[users.position(user_id), c_pos] = count
-            for user_id, count in community.writing_counts(category_id).items():
-                writing_counts[users.position(user_id), c_pos] = count
-
+        columns = community.columns()
+        rating_counts = columns.rating_counts_matrix().astype(np.float64)
+        writing_counts = columns.writing_counts_matrix().astype(np.float64)
         values = _combine(rating_counts, writing_counts, self.config.mode)
-        return UserCategoryMatrix(users, categories, values)
+        return UserCategoryMatrix(columns.users, columns.categories, values)
 
 
 def affiliation_matrix(
@@ -85,5 +81,7 @@ def _combine(rating_counts: np.ndarray, writing_counts: np.ndarray, mode: str) -
 
 def _row_max_normalise(counts: np.ndarray) -> np.ndarray:
     """Divide each row by its maximum; all-zero rows stay zero."""
+    if counts.shape[1] == 0:  # no categories yet: nothing to normalise
+        return counts
     row_max = counts.max(axis=1, keepdims=True)
     return np.divide(counts, np.where(row_max > 0, row_max, 1.0))

@@ -25,14 +25,20 @@ R4  :class:`repro.community.CommunityColumns` attributes are write-once:
     inside the class nor on a ``columns()`` view held by a consumer.
 R5  Modules of the strict-typed packages (``repro.matrix``,
     ``repro.community``, ``repro.propagation``, ``repro.reputation``,
-    ``repro.obs``) must annotate every function parameter and return
-    type (the local, always-runnable mirror of the ``mypy --strict`` CI
-    gate).
+    ``repro.obs``, ``repro.engine``) must annotate every function
+    parameter and return type (the local, always-runnable mirror of the
+    ``mypy --strict`` CI gate).
 R6  ``span(...)`` calls (the :mod:`repro.obs` timing API) must be entered
     through the context-manager protocol: the call must be a ``with``
     item (or be handed to ``enter_context(...)``).  A bare call leaks an
     un-closed span and skews every ancestor's self-time.  There is no
     ``start_span``/``stop_span`` pair; calling one is reported too.
+R7  Every public ``Community`` mutator (a method that writes backing
+    state) must publish a structured delta: call ``self._record(...)``
+    so the change log sees the mutation.  Invalidation alone
+    (``self._mutated()``) is not enough -- a silent version bump starves
+    every change-log subscriber (delta-aware columns, the incremental
+    engine) into conservative full rebuilds.
 
 A finding can be waived with a trailing ``repro: allow(<rule>)`` comment
 on the offending line (or a standalone one on the line directly above),
@@ -66,6 +72,7 @@ RULES: dict[str, str] = {
     "R4": "CommunityColumns attributes are write-once outside __init__",
     "R5": "strict-typed packages must fully annotate every function",
     "R6": "obs spans must be context-managed (with-item or enter_context)",
+    "R7": "Community mutators must emit a delta via self._record(...)",
 }
 
 _WAIVER_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Z0-9,\s]+?)\s*\)")
@@ -78,7 +85,7 @@ _HOT_PATH_RE = re.compile(r"#\s*repro:\s*hot-path\b")
 #: exempt -- they are only reachable from already-invalidated contexts.
 _CACHE_PROTOCOLS: dict[str, tuple[frozenset[str], frozenset[str]]] = {
     "Community": (
-        frozenset({"_mutated"}),
+        frozenset({"_mutated", "_record"}),
         frozenset({"_version", "_columns", "_columns_key"}),
     ),
     "UserPairMatrix": (
@@ -123,7 +130,9 @@ _SET_RETURNING_CALLS = frozenset(
 _NUMERIC_PACKAGES = frozenset(
     {"matrix", "community", "reputation", "propagation", "trust", "affinity", "metrics"}
 )
-_TYPED_PACKAGES = frozenset({"matrix", "community", "propagation", "reputation", "obs"})
+_TYPED_PACKAGES = frozenset(
+    {"matrix", "community", "propagation", "reputation", "obs", "engine"}
+)
 
 #: R4: the write-once columnar view class and its constructor entry points.
 _COLUMNS_CLASS = "CommunityColumns"
@@ -581,6 +590,42 @@ def _check_r6(tree: ast.Module, ctx: _ModuleContext) -> None:
             )
 
 
+# ------------------------------------------------------------------------- R7
+
+#: The change-log publisher every Community mutator must call.
+_DELTA_HOOK = "_record"
+
+
+def _check_r7(tree: ast.Module, ctx: _ModuleContext) -> None:
+    for class_node in ast.walk(tree):
+        if not isinstance(class_node, ast.ClassDef) or class_node.name != "Community":
+            continue
+        hooks, cache_attrs = _CACHE_PROTOCOLS["Community"]
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name.startswith("_"):
+                continue
+            writes, _ = _scan_method_state(method, cache_attrs, hooks)
+            if not writes:
+                continue
+            records = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and _is_self_attr(node.func, _DELTA_HOOK) is not None
+                for node in ast.walk(method)
+            )
+            if not records:
+                ctx.report(
+                    method,
+                    "R7",
+                    f"mutator Community.{method.name}() writes backing state "
+                    f"but never publishes a delta; call "
+                    f"self.{_DELTA_HOOK}(kind, ...) so change-log subscribers "
+                    f"see the mutation",
+                )
+
+
 # ------------------------------------------------------------------ entry points
 
 
@@ -610,6 +655,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     _check_r4(tree, ctx)
     _check_r5(tree, ctx)
     _check_r6(tree, ctx)
+    _check_r7(tree, ctx)
     ctx.findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return ctx.findings
 
@@ -637,7 +683,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI: ``python -m repro.analysis.lint [paths...]``."""
     parser = argparse.ArgumentParser(
         prog="repro.analysis.lint",
-        description="Check the repo-specific invariants R1-R6.",
+        description="Check the repo-specific invariants R1-R7.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories to lint"

@@ -6,6 +6,10 @@ Subcommands
 - ``stats`` -- describe a dataset (synthetic or loaded from files);
 - ``derive`` -- run the framework on an Epinions-format directory and
   write the derived web of trust as ``source|target|value`` lines;
+- ``update`` -- demonstrate the delta-driven incremental engine: withhold
+  a suffix of ratings, replay them in batches through
+  :class:`repro.engine.Engine`, print what each update recomputed vs
+  reused, and verify the final state bitwise against a cold build;
 - ``table2`` / ``table3`` / ``fig3`` / ``table4`` / ``score-gap`` /
   ``ablations`` / ``propagation`` -- reproduce one experiment;
 - ``all`` -- run every experiment and print the full report.
@@ -83,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
     derive.add_argument("--out", required=True, help="output file (source|target|value)")
     derive.add_argument(
         "--min-trust", type=float, default=0.0, help="drop derived values <= this"
+    )
+
+    update = sub.add_parser(
+        "update", help="replay a rating stream through the incremental engine"
+    )
+    _add_source_args(update)
+    update.add_argument(
+        "--stream", type=int, default=50, help="ratings to withhold and replay"
+    )
+    update.add_argument(
+        "--batch", type=int, default=10, help="ratings applied per engine update"
+    )
+    update.add_argument(
+        "--skip-verify",
+        action="store_true",
+        help="skip the final bitwise comparison against a cold build",
     )
 
     for name in _EXPERIMENT_NAMES:
@@ -166,6 +186,9 @@ def _run(args: argparse.Namespace) -> int:
         print(f"wrote {count} derived trust edges to {args.out}", file=out)
         return 0
 
+    if args.command == "update":
+        return _run_update(args, out)
+
     if args.command == "report":
         from repro.experiments import build_report
 
@@ -203,6 +226,57 @@ def _run(args: argparse.Namespace) -> int:
             render_propagation_comparison(run_propagation_comparison(artifacts))
         )
     print("\n\n".join(sections), file=out)
+    return 0
+
+
+def _run_update(args: argparse.Namespace, out) -> int:
+    from repro.engine import Engine, clone_community, cold_artifacts, split_rating_stream
+
+    community = _load_community(args)
+    base, stream = split_rating_stream(community, args.stream)
+    engine = Engine(base)
+    engine.update()
+    print(
+        f"cold build at epoch {base.change_log.epoch}: "
+        f"{engine.artifacts.derived.num_entries()} derived pairs",
+        file=out,
+    )
+
+    rows = []
+    for start in range(0, len(stream), max(1, args.batch)):
+        for rating in stream[start : start + max(1, args.batch)]:
+            base.add_rating(rating)
+        engine.update()
+        stats = engine.last_stats
+        total_pairs = stats.pairs_rederived + stats.pairs_reused
+        reuse = f"{stats.pairs_reused / total_pairs:.1%}" if total_pairs else "-"
+        rows.append(
+            [
+                base.change_log.epoch,
+                stats.deltas_applied,
+                f"{stats.categories_resolved}/{stats.categories_resolved + stats.categories_skipped}",
+                stats.pairs_rederived,
+                stats.pairs_reused,
+                reuse,
+                "yes" if stats.propagation_rerun else "reused",
+            ]
+        )
+    print(
+        render_table(
+            ["epoch", "deltas", "categories", "rederived", "reused", "reuse", "propagation"],
+            rows,
+            title="Incremental updates",
+        ),
+        file=out,
+    )
+
+    if not args.skip_verify:
+        cold = cold_artifacts(clone_community(base))
+        diffs = engine.artifacts.differences(cold)
+        if diffs:
+            print(f"BITWISE MISMATCH vs cold build: {', '.join(diffs)}", file=out)
+            return 1
+        print("final state verified bitwise against a cold build", file=out)
     return 0
 
 

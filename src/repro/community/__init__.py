@@ -16,6 +16,7 @@ integrity is checked at insert time.
 
 from repro.community.columnar import CommunityColumns
 from repro.community.community import Community
+from repro.community.deltas import ChangeLog, Delta, DeltaKind
 from repro.community.model import (
     HELPFULNESS_SCALE,
     Category,
@@ -29,6 +30,9 @@ from repro.community.model import (
 __all__ = [
     "Community",
     "CommunityColumns",
+    "ChangeLog",
+    "Delta",
+    "DeltaKind",
     "User",
     "Category",
     "ReviewedObject",

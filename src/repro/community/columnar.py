@@ -25,6 +25,7 @@ per community version and rebuilds it after any mutation.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -86,6 +87,7 @@ class CommunityColumns:
         "_writing_counts",
         "_rating_counts",
         "_pair_groups",
+        "_review_pos",
     )
 
     users: LabelIndex
@@ -105,6 +107,7 @@ class CommunityColumns:
     _writing_counts: IntArray | None
     _rating_counts: IntArray | None
     _pair_groups: _PairGroups | None
+    _review_pos: dict[str, int] | None
 
     @checked_arrays(
         review_writer_idx=array_spec(ndim=1, kind="i", non_negative=True, length_of="reviews"),
@@ -128,6 +131,8 @@ class CommunityColumns:
         rater_idx: IntArray,
         rating_review_idx: IntArray,
         rating_values: FloatArray,
+        sorted_columns: tuple[IntArray, IntArray, IntArray, FloatArray, IntArray]
+        | None = None,
     ) -> None:
         self.users = users
         self.categories = categories
@@ -137,25 +142,39 @@ class CommunityColumns:
         self.rater_idx = rater_idx
         self.rating_review_idx = rating_review_idx
         self.rating_values = rating_values
-        self.rating_category_idx = (
-            review_category_idx[rating_review_idx]
-            if len(rating_review_idx)
-            else np.empty(0, dtype=np.int64)
-        )
 
         num_categories = len(categories)
         self.review_cat_starts = np.asarray(
             np.searchsorted(review_category_idx, np.arange(num_categories + 1)),
             dtype=np.int64,
         )
-        order = np.argsort(self.rating_category_idx, kind="stable")
-        self.srt_rater_idx = rater_idx[order]
-        self.srt_review_idx = rating_review_idx[order]
-        self.srt_values = rating_values[order]
-        self.rating_cat_starts = np.asarray(
-            np.searchsorted(self.rating_category_idx[order], np.arange(num_categories + 1)),
-            dtype=np.int64,
-        )
+        if sorted_columns is not None:
+            # a builder (see :meth:`refreshed`) already holds the
+            # category-major view; it must equal what the stable sort below
+            # would produce, bit for bit
+            (
+                self.rating_category_idx,
+                self.srt_rater_idx,
+                self.srt_review_idx,
+                self.srt_values,
+                self.rating_cat_starts,
+            ) = sorted_columns
+        else:
+            self.rating_category_idx = (
+                review_category_idx[rating_review_idx]
+                if len(rating_review_idx)
+                else np.empty(0, dtype=np.int64)
+            )
+            order = np.argsort(self.rating_category_idx, kind="stable")
+            self.srt_rater_idx = rater_idx[order]
+            self.srt_review_idx = rating_review_idx[order]
+            self.srt_values = rating_values[order]
+            self.rating_cat_starts = np.asarray(
+                np.searchsorted(
+                    self.rating_category_idx[order], np.arange(num_categories + 1)
+                ),
+                dtype=np.int64,
+            )
         # the snapshot is shared through the Community.columns() cache, so
         # every column is frozen; consumers get copies via astype / fancy
         # indexing, never writable aliases of cached state
@@ -176,6 +195,7 @@ class CommunityColumns:
         self._writing_counts = None
         self._rating_counts = None
         self._pair_groups = None
+        self._review_pos = None
 
     # ------------------------------------------------------------------ build
 
@@ -218,7 +238,7 @@ class CommunityColumns:
         values = np.fromiter(
             (row["value"] for row in rating_rows), dtype=np.float64, count=num_ratings
         )
-        return cls(
+        out = cls(
             users=users,
             categories=categories,
             review_ids=review_ids,
@@ -228,6 +248,189 @@ class CommunityColumns:
             rating_review_idx=rating_review_idx,
             rating_values=values,
         )
+        out._review_pos = new_pos
+        return out
+
+    @classmethod
+    def refreshed(
+        cls,
+        old: "CommunityColumns",
+        community: "Community",
+        old_counts: tuple[int, int, int, int],
+    ) -> "CommunityColumns":
+        """Rebuild a snapshot from ``old`` plus the rows appended since.
+
+        ``old_counts`` is the ``(users, categories, reviews, ratings)``
+        row-count tuple at the time ``old`` was built; every table is
+        append-only, so the rows beyond those counts are exactly the new
+        ones.  New reviews are merged into their category segments with one
+        stable sort over the category column -- old rows keep their
+        relative order, new rows land behind them -- so the result is
+        **bitwise identical** to a cold :meth:`from_community` build, while
+        only the appended rows pay the per-row Python encoding cost.
+        """
+        old_users, old_categories, old_reviews, old_ratings = old_counts
+        users = (
+            LabelIndex(community.user_ids())
+            if community.num_users() > old_users
+            else old.users
+        )
+        categories = (
+            LabelIndex(community.category_ids())
+            if community.num_categories() > old_categories
+            else old.categories
+        )
+        if (
+            community.num_reviews() == old_reviews
+            and categories is old.categories
+        ):
+            # the dominant steady-state delta -- new ratings on the existing
+            # review axis -- skips the review re-encode entirely
+            return cls._refreshed_ratings_only(old, community, users, old_ratings)
+        upos = users._positions
+        cpos = categories._positions
+
+        review_rows = list(
+            islice(community.database.table("reviews")._rows.values(), old_reviews, None)
+        )
+        new_writer_idx = np.fromiter(
+            (upos[row["writer_id"]] for row in review_rows),
+            dtype=np.int64,
+            count=len(review_rows),
+        )
+        new_category_idx = np.fromiter(
+            (cpos[row["category_id"]] for row in review_rows),
+            dtype=np.int64,
+            count=len(review_rows),
+        )
+        # old axis (already category-major, insertion order within each
+        # category) followed by the appended reviews (insertion order):
+        # a stable sort by category is the category-major order of the
+        # full insertion sequence
+        writer_idx = np.concatenate([old.review_writer_idx, new_writer_idx])
+        category_idx = np.concatenate([old.review_category_idx, new_category_idx])
+        order = np.argsort(category_idx, kind="stable")
+        concat_ids = old.review_ids + tuple(row["review_id"] for row in review_rows)
+        review_ids = tuple(concat_ids[int(i)] for i in order)
+        # where each pre-refresh global review position landed
+        moved = np.empty(len(order), dtype=np.int64)
+        moved[order] = np.arange(len(order))
+
+        rating_rows = list(
+            islice(community.database.table("ratings")._rows.values(), old_ratings, None)
+        )
+        review_pos = {review_id: pos for pos, review_id in enumerate(review_ids)}
+        new_rater_idx = np.fromiter(
+            (upos[row["rater_id"]] for row in rating_rows),
+            dtype=np.int64,
+            count=len(rating_rows),
+        )
+        new_rating_review_idx = np.fromiter(
+            (review_pos[row["review_id"]] for row in rating_rows),
+            dtype=np.int64,
+            count=len(rating_rows),
+        )
+        new_values = np.fromiter(
+            (row["value"] for row in rating_rows),
+            dtype=np.float64,
+            count=len(rating_rows),
+        )
+        out = cls(
+            users=users,
+            categories=categories,
+            review_ids=review_ids,
+            review_writer_idx=writer_idx[order],
+            review_category_idx=category_idx[order],
+            rater_idx=np.concatenate([old.rater_idx, new_rater_idx]),
+            rating_review_idx=np.concatenate(
+                [moved[old.rating_review_idx], new_rating_review_idx]
+            ),
+            rating_values=np.concatenate([old.rating_values, new_values]),
+        )
+        out._review_pos = review_pos
+        return out
+
+    @classmethod
+    def _refreshed_ratings_only(
+        cls,
+        old: "CommunityColumns",
+        community: "Community",
+        users: LabelIndex,
+        old_ratings: int,
+    ) -> "CommunityColumns":
+        """Refresh when only ratings (and possibly inert rows) were appended.
+
+        The review axis is untouched, so every review-side column carries
+        over; the appended ratings splice into the ends of their categories'
+        ``srt_*`` segments, which is exactly where the stable category sort
+        of :meth:`from_community` would land them.  The result is bitwise
+        identical to a cold build.
+        """
+        upos = users._positions
+        rating_rows = list(
+            islice(community.database.table("ratings")._rows.values(), old_ratings, None)
+        )
+        num_new = len(rating_rows)
+        review_pos = old.review_positions()
+        new_rater_idx = np.fromiter(
+            (upos[row["rater_id"]] for row in rating_rows), dtype=np.int64, count=num_new
+        )
+        new_review_idx = np.fromiter(
+            (review_pos[row["review_id"]] for row in rating_rows),
+            dtype=np.int64,
+            count=num_new,
+        )
+        new_values = np.fromiter(
+            (row["value"] for row in rating_rows), dtype=np.float64, count=num_new
+        )
+        new_cat_idx = (
+            old.review_category_idx[new_review_idx]
+            if num_new
+            else np.empty(0, dtype=np.int64)
+        )
+
+        num_categories = len(old.categories)
+        counts = np.bincount(new_cat_idx, minlength=num_categories)
+        shift = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+        starts = np.asarray(old.rating_cat_starts + shift, dtype=np.int64)
+        # each appended rating lands at the end of its category's segment,
+        # after its same-category predecessors (insertion order preserved)
+        order = np.argsort(new_cat_idx, kind="stable")
+        sorted_cats = new_cat_idx[order]
+        rank = np.arange(num_new, dtype=np.int64) - shift[sorted_cats]
+        positions = old.rating_cat_starts[sorted_cats + 1] + shift[sorted_cats] + rank
+        total = old.srt_values.size + num_new
+        keep = np.ones(total, dtype=bool)
+        keep[positions] = False
+        srt_rater_idx = np.empty(total, dtype=np.int64)
+        srt_review_idx = np.empty(total, dtype=np.int64)
+        srt_values = np.empty(total, dtype=np.float64)
+        srt_rater_idx[keep] = old.srt_rater_idx
+        srt_review_idx[keep] = old.srt_review_idx
+        srt_values[keep] = old.srt_values
+        srt_rater_idx[positions] = new_rater_idx[order]
+        srt_review_idx[positions] = new_review_idx[order]
+        srt_values[positions] = new_values[order]
+
+        out = cls(
+            users=users,
+            categories=old.categories,
+            review_ids=old.review_ids,
+            review_writer_idx=old.review_writer_idx,
+            review_category_idx=old.review_category_idx,
+            rater_idx=np.concatenate([old.rater_idx, new_rater_idx]),
+            rating_review_idx=np.concatenate([old.rating_review_idx, new_review_idx]),
+            rating_values=np.concatenate([old.rating_values, new_values]),
+            sorted_columns=(
+                np.concatenate([old.rating_category_idx, new_cat_idx]),
+                srt_rater_idx,
+                srt_review_idx,
+                srt_values,
+                starts,
+            ),
+        )
+        out._review_pos = review_pos
+        return out
 
     # ------------------------------------------------------------------ shape
 
@@ -252,6 +455,18 @@ class CommunityColumns:
         return slice(int(self.rating_cat_starts[c]), int(self.rating_cat_starts[c + 1]))
 
     # ------------------------------------------------------------------ readers
+
+    def review_positions(self) -> dict[str, int]:
+        """``{review_id: global position}`` over the review axis (cached).
+
+        Built lazily and shared across ratings-only refreshes (the review
+        axis is identical there), so steady-state updates never rebuild it.
+        """
+        if self._review_pos is None:
+            self._review_pos = {
+                review_id: pos for pos, review_id in enumerate(self.review_ids)
+            }
+        return self._review_pos
 
     def rating_triples(self, category_id: str) -> list[tuple[str, str, float]]:
         """``(rater_id, review_id, value)`` triples, insertion order."""

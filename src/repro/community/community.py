@@ -18,6 +18,7 @@ from typing import Iterable, Iterator
 from repro import obs
 from repro.common.errors import IntegrityError, ValidationError
 from repro.community.columnar import CommunityColumns
+from repro.community.deltas import ChangeLog, DeltaKind
 from repro.community.model import (
     Category,
     Review,
@@ -132,8 +133,10 @@ class Community:
         self._db = _build_database(name)
         self.name = name
         self._version = 0
+        self._log = ChangeLog()
         self._columns: CommunityColumns | None = None
-        self._columns_key: tuple[int, int, int, int, int] | None = None
+        # (log epoch, (users, categories, reviews, ratings)) at build time
+        self._columns_key: tuple[int, tuple[int, int, int, int]] | None = None
 
     # ------------------------------------------------------------------ writes
 
@@ -142,15 +145,34 @@ class Community:
         """Mutation counter; bumped by every successful ``add_*`` call."""
         return self._version
 
+    @property
+    def change_log(self) -> ChangeLog:
+        """The per-community delta log every mutator appends to."""
+        return self._log
+
     def _mutated(self) -> None:
         self._version += 1
+
+    def _record(
+        self,
+        kind: DeltaKind,
+        *,
+        user_id: str | None = None,
+        category_id: str | None = None,
+        target_id: str | None = None,
+    ) -> None:
+        """Publish one delta and bump the version (the R1/R7 write hook)."""
+        self._log.record(
+            kind, user_id=user_id, category_id=category_id, target_id=target_id
+        )
+        self._mutated()
 
     def add_user(self, user: User | str, name: str = "") -> User:
         """Register a user (accepts a :class:`User` or a bare id)."""
         if isinstance(user, str):
             user = User(user_id=user, name=name)
         self._db.insert("users", {"user_id": user.user_id, "name": user.name})
-        self._mutated()
+        self._record("user", user_id=user.user_id)
         return user
 
     def add_category(self, category: Category | str, name: str = "") -> Category:
@@ -160,7 +182,7 @@ class Community:
         self._db.insert(
             "categories", {"category_id": category.category_id, "name": category.name}
         )
-        self._mutated()
+        self._record("category", category_id=category.category_id)
         return category
 
     def add_object(self, obj: ReviewedObject) -> ReviewedObject:
@@ -173,7 +195,7 @@ class Community:
                 "title": obj.title,
             },
         )
-        self._mutated()
+        self._record("object", category_id=obj.category_id, target_id=obj.object_id)
         return obj
 
     def add_review(self, review: Review) -> Review:
@@ -195,7 +217,12 @@ class Community:
                 "category_id": obj["category_id"],
             },
         )
-        self._mutated()
+        self._record(
+            "review",
+            user_id=review.writer_id,
+            category_id=obj["category_id"],
+            target_id=review.review_id,
+        )
         return review
 
     def add_rating(self, rating: ReviewRating) -> ReviewRating:
@@ -220,7 +247,12 @@ class Community:
                 "value": rating.value,
             },
         )
-        self._mutated()
+        self._record(
+            "rating",
+            user_id=rating.rater_id,
+            category_id=review["category_id"],
+            target_id=rating.review_id,
+        )
         return rating
 
     def add_trust(self, statement: TrustStatement) -> TrustStatement:
@@ -229,8 +261,22 @@ class Community:
             "trust",
             {"truster_id": statement.truster_id, "trustee_id": statement.trustee_id},
         )
-        self._mutated()
+        self._record(
+            "trust", user_id=statement.truster_id, target_id=statement.trustee_id
+        )
         return statement
+
+    def touch(self, category_id: str | None = None) -> None:
+        """Publish an explicit recompute request for ``category_id``.
+
+        Adds no data; subscribers (e.g. the incremental Step-1 tracker)
+        treat the named category -- or every category when ``None`` -- as
+        dirty.  This is the change-log replacement for the deprecated
+        manual ``mark_dirty`` calls.
+        """
+        if category_id is not None:
+            self._require_category(category_id)
+        self._record("touch", category_id=category_id)
 
     # ------------------------------------------------------------------ reads
 
@@ -242,32 +288,58 @@ class Community:
     def columns(self) -> CommunityColumns:
         """The cached columnar view of this community's reviews and ratings.
 
-        Built once per community version (every ``add_*`` call invalidates
-        it); the cache key also folds in raw row counts, so bulk loads that
-        insert through :attr:`database` directly are caught too.
+        The cache is **delta-aware**: when everything added since the last
+        build is announced in the change log, the snapshot is refreshed in
+        place -- appended reviews/ratings are merged into their category
+        segments (:meth:`CommunityColumns.refreshed`) and trust/object
+        deltas are pure cache hits, because the snapshot does not encode
+        them.  Only out-of-band writes (rows inserted through
+        :attr:`database` directly, which the raw row counts catch) fall
+        back to a full rebuild.
         """
-        key = (
-            self._version,
+        counts = (
             len(self._db.table("users")),
             len(self._db.table("categories")),
             len(self._db.table("reviews")),
             len(self._db.table("ratings")),
         )
-        if self._columns is not None and self._columns_key == key:
-            obs.add("community.columns.hit")
-            return self._columns
-        if self._columns is not None:
-            # a cached view exists but its key is stale: a mutation
-            # invalidated it since the last build
+        epoch = self._log.epoch
+        if self._columns is not None and self._columns_key is not None:
+            old_epoch, old_counts = self._columns_key
+            if old_epoch == epoch and old_counts == counts:
+                obs.add("community.columns.hit")
+                return self._columns
+            growth = self._log.count_growth(old_epoch)
+            predicted = tuple(old + new for old, new in zip(old_counts, growth))
+            if predicted == counts:
+                if growth == (0, 0, 0, 0):
+                    # trust/object/touch deltas only: nothing the snapshot
+                    # encodes changed
+                    obs.add("community.columns.hit")
+                    self._columns_key = (epoch, counts)
+                    return self._columns
+                obs.add("community.columns.refresh")
+                with obs.span(
+                    "community.columns.refresh",
+                    new_reviews=growth[2],
+                    new_ratings=growth[3],
+                ):
+                    self._columns = CommunityColumns.refreshed(
+                        self._columns, self, old_counts
+                    )
+                self._columns_key = (epoch, counts)
+                return self._columns
+            # rows appeared that no delta announced (a direct bulk load):
+            # the incremental merge cannot trust its segment bookkeeping
             obs.add("community.columns.invalidated")
         obs.add("community.columns.miss")
         with obs.span(
             "community.columns.build",
-            users=len(self._db.table("users")),
-            ratings=len(self._db.table("ratings")),
+            users=counts[0],
+            ratings=counts[3],
         ):
             self._columns = CommunityColumns.from_community(self)
-        self._columns_key = key
+        self._columns_key = (epoch, counts)
         return self._columns
 
     def user_ids(self) -> list[str]:

@@ -1,0 +1,134 @@
+"""Structured mutation records: the community's change log.
+
+Every successful :class:`repro.community.Community` mutator appends one
+:class:`Delta` to the community's :class:`ChangeLog` (lint rule R7 enforces
+this).  Downstream consumers -- the delta-aware ``Community.columns()``
+cache, :class:`repro.reputation.IncrementalExpertise`, the staged
+:class:`repro.engine.Engine` -- subscribe by remembering the log's
+``epoch`` and asking for :meth:`ChangeLog.since` their cursor, instead of
+reacting to a blind version bump with a full rebuild.
+
+Epochs are monotonically increasing, starting at 1 for the first delta; a
+freshly created community sits at epoch 0.  The log is append-only and
+per-community, so a cursor taken from one community is meaningless on
+another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+from repro.common.errors import ValidationError
+
+__all__ = ["Delta", "DeltaKind", "ChangeLog"]
+
+#: What a delta records: one entity added ("user" ... "trust") or an
+#: explicit recompute request for a category ("touch", no entity added).
+DeltaKind = Literal["user", "category", "object", "review", "rating", "trust", "touch"]
+
+_KINDS: frozenset[str] = frozenset(
+    {"user", "category", "object", "review", "rating", "trust", "touch"}
+)
+
+#: Delta kinds that grow the (users, categories, reviews, ratings) counts
+#: the columnar snapshot encodes; "object"/"trust"/"touch" do not.
+_COUNTED_KINDS: tuple[str, ...] = ("user", "category", "review", "rating")
+
+
+@dataclass(frozen=True, slots=True)
+class Delta:
+    """One recorded mutation.
+
+    Attributes
+    ----------
+    epoch:
+        Position in the log (1-based, strictly increasing).
+    kind:
+        What was added (or ``"touch"`` for an explicit recompute request).
+    user_id:
+        The acting user, where one exists: the registered user, the review
+        writer, the rater, or the truster.
+    category_id:
+        The affected category, where one exists -- this is what dirty-set
+        inference keys on (reviews and ratings always carry it).
+    target_id:
+        The added entity's own id (object/review id, the rated review, or
+        the trustee).
+    """
+
+    epoch: int
+    kind: DeltaKind
+    user_id: str | None = None
+    category_id: str | None = None
+    target_id: str | None = None
+
+
+class ChangeLog:
+    """Append-only log of :class:`Delta` records with monotonic epochs."""
+
+    __slots__ = ("_deltas",)
+
+    def __init__(self) -> None:
+        self._deltas: list[Delta] = []
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the newest delta (0 when the log is empty)."""
+        return len(self._deltas)
+
+    def record(
+        self,
+        kind: DeltaKind,
+        *,
+        user_id: str | None = None,
+        category_id: str | None = None,
+        target_id: str | None = None,
+    ) -> Delta:
+        """Append one delta and return it (its epoch is ``self.epoch``)."""
+        if kind not in _KINDS:
+            raise ValidationError(f"unknown delta kind {kind!r}")
+        delta = Delta(
+            epoch=len(self._deltas) + 1,
+            kind=kind,
+            user_id=user_id,
+            category_id=category_id,
+            target_id=target_id,
+        )
+        self._deltas.append(delta)
+        return delta
+
+    def since(self, epoch: int) -> tuple[Delta, ...]:
+        """All deltas with ``delta.epoch > epoch`` (oldest first).
+
+        ``since(0)`` replays the whole log; ``since(self.epoch)`` is empty.
+        A cursor ahead of the log is rejected -- it can only come from a
+        different community's log.
+        """
+        if epoch < 0 or epoch > len(self._deltas):
+            raise ValidationError(
+                f"epoch {epoch} outside this log's range [0, {len(self._deltas)}]"
+            )
+        return tuple(self._deltas[epoch:])
+
+    def count_growth(self, epoch: int) -> tuple[int, int, int, int]:
+        """Rows the deltas after ``epoch`` added, as
+        ``(users, categories, reviews, ratings)`` -- the counts the columnar
+        snapshot is keyed on.  Object/trust/touch deltas contribute zeros.
+        """
+        deltas = self.since(epoch)
+        return (
+            sum(1 for d in deltas if d.kind == "user"),
+            sum(1 for d in deltas if d.kind == "category"),
+            sum(1 for d in deltas if d.kind == "review"),
+            sum(1 for d in deltas if d.kind == "rating"),
+        )
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __iter__(self) -> Iterator[Delta]:
+        return iter(self._deltas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChangeLog(epoch={self.epoch})"

@@ -31,7 +31,11 @@ from repro.experiments.future_trust import (
     render_future_trust,
     run_future_trust,
 )
-from repro.experiments.pipeline import PipelineArtifacts, run_pipeline
+from repro.experiments.pipeline import (
+    PipelineArtifacts,
+    pipeline_from_engine,
+    run_pipeline,
+)
 from repro.experiments.report import build_report
 from repro.experiments.propagation_compare import (
     PropagationComparison,
@@ -48,6 +52,7 @@ __all__ = [
     "paper_profile",
     "PipelineArtifacts",
     "run_pipeline",
+    "pipeline_from_engine",
     "run_table2",
     "render_table2",
     "run_table3",

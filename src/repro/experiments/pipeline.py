@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.affinity import AffinityConfig, AffinityEstimator
 from repro.community import Community
+from repro.engine import EngineArtifacts
 from repro.datasets import CommunityProfile, SyntheticDataset, generate_community
 from repro.matrix import UserCategoryMatrix, UserPairMatrix
 from repro.reputation import ExpertiseEstimator, ExpertiseResult, RiggsConfig
@@ -25,7 +26,7 @@ from repro.trust import (
     ground_truth_matrix,
 )
 
-__all__ = ["PipelineArtifacts", "run_pipeline"]
+__all__ = ["PipelineArtifacts", "run_pipeline", "pipeline_from_engine"]
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,44 @@ def run_pipeline(
             expertise_result=expertise_result,
             affiliation=affiliation,
             derived=derived,
+            connections=connections,
+            baseline=baseline,
+            ground_truth=ground_truth,
+            generousness_by_user=k_by_user,
+            derived_binary=derived_binary,
+            baseline_binary=baseline_binary,
+        )
+
+
+def pipeline_from_engine(
+    artifacts: EngineArtifacts,
+    community: Community,
+    *,
+    dataset: SyntheticDataset | None = None,
+) -> PipelineArtifacts:
+    """Evaluation bundle around the incremental engine's staged artifacts.
+
+    Reuses ``E``, ``A`` and ``T-hat`` straight from an
+    :class:`repro.engine.EngineArtifacts` (no recomputation) and derives
+    only the §IV evaluation scaffolding from the community -- the bridge
+    that lets every experiment consume an incrementally maintained
+    pipeline.
+    """
+    with obs.span("pipeline.from_engine"):
+        with obs.span("pipeline.relations"):
+            connections = direct_connection_matrix(community)
+            baseline = baseline_matrix(community)
+            ground_truth = ground_truth_matrix(community)
+            k_by_user = generousness(connections, ground_truth)
+        with obs.span("pipeline.binarize"):
+            derived_binary = binarize_top_k(artifacts.derived, k_by_user)
+            baseline_binary = binarize_top_k(baseline, k_by_user)
+        return PipelineArtifacts(
+            dataset=dataset,
+            community=community,
+            expertise_result=artifacts.expertise_result,
+            affiliation=artifacts.affiliation,
+            derived=artifacts.derived,
             connections=connections,
             baseline=baseline,
             ground_truth=ground_truth,

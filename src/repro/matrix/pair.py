@@ -289,6 +289,43 @@ class UserPairMatrix:
         return out
 
     @classmethod
+    def from_flat_sorted(
+        cls,
+        users: LabelIndex | Iterable[str],
+        keys: IntArray,
+        values: FloatArray | Iterable[float],
+    ) -> "UserPairMatrix":
+        """Build from already-consolidated flat keys ``i * U + j`` in O(nnz).
+
+        The fast-path constructor for callers that hold a row-major-sorted,
+        duplicate-free entry list -- e.g. patching a consolidated matrix
+        with a recomputed region.  It skips the O(nnz log nnz) sort/dedup
+        pass of :meth:`set_block`; ``keys`` must be strictly increasing and
+        lie in ``[0, U*U)``.
+        """
+        out = cls(users)
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=np.float64)
+        if keys.ndim != 1 or vals.ndim != 1 or keys.shape != vals.shape:
+            raise ValidationError(
+                f"keys and values must be equal-length 1-D arrays, got shapes "
+                f"{keys.shape} and {vals.shape}"
+            )
+        if keys.size:
+            if keys[0] < 0 or keys[-1] >= out._n * out._n:
+                raise ValidationError(
+                    f"keys must lie in [0, {out._n * out._n}); got "
+                    f"[{keys[0]}, {keys[-1]}]"
+                )
+            if keys.size > 1 and not bool(np.all(keys[1:] > keys[:-1])):
+                raise ValidationError("keys must be strictly increasing (sorted, unique)")
+            if not np.isfinite(vals).all():
+                raise ValidationError("pair values must be finite")
+        out._keys = keys.copy()
+        out._vals = vals.copy()
+        return out
+
+    @classmethod
     def from_csr(
         cls,
         matrix: sparse.spmatrix,
@@ -327,6 +364,67 @@ class UserPairMatrix:
         for source, target, value in items:
             out.set(source, target, value)
         return out
+
+    # ------------------------------------------------------------------ patching
+
+    def patched(
+        self,
+        users: LabelIndex,
+        region: "UserPairMatrix",
+        *,
+        rows: IntArray,
+        cols: IntArray,
+    ) -> tuple["UserPairMatrix", int]:
+        """Merge a recomputed ``region`` over this matrix in O(nnz).
+
+        ``region`` holds every stored entry of ``(rows x all) | (all x
+        cols)`` on the (possibly grown) ``users`` axis; this matrix's
+        entries outside that region are carried over unchanged.  Both
+        consolidated key sets are sorted and provably disjoint -- every
+        region key has its row in ``rows`` or its column in ``cols``,
+        every kept key has neither -- so the patched matrix assembles with
+        one masked scatter instead of the O(nnz log nnz) consolidation
+        sort.  Returns ``(patched, kept_entries)``.
+
+        This axis must be a prefix of ``users`` (append-only growth keeps
+        flat keys in row-major order: ``j < n_old <= n``).
+        """
+        if region.users != users:
+            raise ValidationError("region must be indexed by the patched user axis")
+        n = len(users)
+        n_old = self._n
+        if n_old > n or self.users.labels != users.labels[:n_old]:
+            raise ValidationError("patched axis must extend this matrix's user axis")
+        for name, positions in (("rows", rows), ("cols", cols)):
+            if positions.size and (positions.min() < 0 or positions.max() >= n):
+                raise ValidationError(f"{name} positions must lie in [0, {n})")
+        self._consolidate()
+        region._consolidate()
+        r, c = np.divmod(self._keys, n_old)
+        row_changed = np.zeros(n, dtype=bool)
+        row_changed[rows] = True
+        col_changed = np.zeros(n, dtype=bool)
+        col_changed[cols] = True
+        keep = ~(row_changed[r] | col_changed[c])
+        kept_keys = self._keys[keep] if n == n_old else r[keep] * n + c[keep]
+        kept_vals = self._vals[keep]
+        region_keys = region._keys
+        positions = np.searchsorted(kept_keys, region_keys) + np.arange(
+            region_keys.size, dtype=np.int64
+        )
+        total = kept_keys.size + region_keys.size
+        merged_keys = np.empty(total, dtype=np.int64)
+        merged_vals = np.empty(total, dtype=np.float64)
+        merged_keys[positions] = region_keys
+        merged_vals[positions] = region._vals
+        mask = np.ones(total, dtype=bool)
+        mask[positions] = False
+        merged_keys[mask] = kept_keys
+        merged_vals[mask] = kept_vals
+        out = UserPairMatrix(users)
+        out._keys = merged_keys
+        out._vals = merged_vals
+        return out, int(kept_keys.size)
 
     # ------------------------------------------------------------------ set ops
 

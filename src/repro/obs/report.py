@@ -10,6 +10,10 @@ prints, from one trace document:
 - a per-span-name **timing table** -- calls, cumulative time, self time
   (cumulative minus direct children), sorted by self time;
 - the **counters** and **histogram** summaries;
+- an **incremental engine** section (when engine counters are present):
+  deltas applied, Step-1 categories re-solved vs skipped, ``T-hat`` pairs
+  re-derived vs reused, propagation sweeps saved -- each with its reuse
+  ratio;
 - a **convergence summary** per iterative kernel (count, worst residual,
   iteration range, whether every run converged).
 
@@ -124,6 +128,53 @@ def _convergence_table(records: Sequence[Mapping[str, Any]]) -> str:
     )
 
 
+#: (label, done counter, avoided counter) rows of the engine section; the
+#: "avoided" share is the incremental win the table makes visible.
+_ENGINE_RATIOS: tuple[tuple[str, str, str], ...] = (
+    (
+        "step1 categories",
+        "step1.incremental.categories_resolved",
+        "step1.incremental.categories_skipped",
+    ),
+    (
+        "derive pairs",
+        "engine.derive.pairs_rederived",
+        "engine.derive.pairs_reused",
+    ),
+)
+
+
+def _engine_table(counters: Mapping[str, Any]) -> str | None:
+    """The incremental-engine counter summary, or ``None`` when absent."""
+    if not any(str(name).startswith(("engine.", "step1.incremental.")) for name in counters):
+        return None
+    rows: list[list[object]] = [
+        ["deltas applied", int(counters.get("engine.deltas_applied", 0)), "-", "-"]
+    ]
+    for label, done_key, avoided_key in _ENGINE_RATIOS:
+        done = int(counters.get(done_key, 0))
+        avoided = int(counters.get(avoided_key, 0))
+        total = done + avoided
+        ratio = f"{avoided / total:.1%}" if total else "-"
+        rows.append([f"{label} recomputed", done, avoided, ratio])
+    rows.append(
+        [
+            "propagation sweeps saved",
+            int(counters.get("engine.propagation.iterations_saved", 0)),
+            "-",
+            "-",
+        ]
+    )
+    refreshes = int(counters.get("community.columns.refresh", 0))
+    if refreshes:
+        rows.append(["columns segment refreshes", refreshes, "-", "-"])
+    return render_table(
+        ["stage", "recomputed", "reused", "reuse"],
+        rows,
+        title="Incremental engine",
+    )
+
+
 def render_trace_report(document: Mapping[str, Any]) -> str:
     """The full multi-table report for one trace document."""
     sections: list[str] = []
@@ -135,6 +186,9 @@ def render_trace_report(document: Mapping[str, Any]) -> str:
     if counters:
         rows = [[name, counters[name]] for name in sorted(counters)]
         sections.append(render_table(["counter", "value"], rows, title="Counters"))
+        engine_section = _engine_table(counters)
+        if engine_section is not None:
+            sections.append(engine_section)
     histograms = document.get("histograms") or {}
     if histograms:
         rows = [

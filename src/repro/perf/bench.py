@@ -9,7 +9,15 @@ Times the vectorised hot paths against the frozen seed implementations in
 - **step1_fit_batched** -- Step 1 with the columnar view already cached
   (the steady-state cost when anything else has touched the community's
   columns first), best-of ``repeats``;
-- **propagation_eigentrust** -- one global propagation pass over ``R``.
+- **propagation_eigentrust** -- one global propagation pass over ``R``;
+- **incremental** -- the delta-driven :class:`repro.engine.Engine`: the
+  newest ratings of a typical (median-size) category arrive one at a
+  time -- the steady-state workload the engine exists for -- and each
+  ``Engine.update()`` is timed against a full cold build of the same
+  state on a fresh replica.  The final incremental state is checked
+  bitwise against the cold build (``incremental_identical``), and
+  ``--check`` enforces a minimum update-vs-cold speedup
+  (``--min-update-speedup``, default 2x).
 
 Run it as a module::
 
@@ -43,6 +51,7 @@ from repro.affinity import AffinityEstimator
 from repro.common.validation import require_positive
 from repro.community import Community
 from repro.datasets import CommunityProfile, generate_community
+from repro.engine import Engine, clone_community, cold_artifacts, split_rating_stream
 from repro.matrix import UserCategoryMatrix, UserPairMatrix
 from repro.obs.report import aggregate_spans
 from repro.perf.reference import (
@@ -88,6 +97,58 @@ def _traced_pass(
     return recorder.to_dict()
 
 
+def _bench_incremental(
+    community: Community, *, stream_size: int, batch: int, repeats: int
+) -> tuple[dict, bool]:
+    """Time ``Engine.update()`` on a localised rating stream vs cold builds.
+
+    Withholds the newest ``stream_size`` ratings of the median-size
+    category -- the typical category a steady-state rating lands in (the
+    largest category, where near half the community writes, is the
+    adversarial case: each re-solve perturbs that many expertise entries)
+    -- then replays them through an engine ``batch`` ratings per update.
+    Returns ``(timing entry, incremental_identical)`` where the timing
+    compares the *mean* update against a full cold build of the final
+    state on a fresh replica (replica construction untimed).
+    """
+    by_size = sorted(community.category_ids(), key=community.num_ratings)
+    median = by_size[len(by_size) // 2]
+    available = community.num_ratings(median)
+    stream_size = min(stream_size, max(1, available - 1))
+    base, stream = split_rating_stream(community, stream_size, category_id=median)
+
+    engine = Engine(base)
+    engine.update()  # cold build, untimed
+    update_times: list[float] = []
+    for start in range(0, len(stream), batch):
+        for rating in stream[start : start + batch]:
+            base.add_rating(rating)
+        begin = time.perf_counter()
+        engine.update()
+        update_times.append(time.perf_counter() - begin)
+    update_s = sum(update_times) / len(update_times) if update_times else 0.0
+
+    cold_s = float("inf")
+    cold = None
+    for _ in range(repeats):
+        replica = clone_community(base)  # untimed: replaying records is not pipeline work
+        begin = time.perf_counter()
+        cold = cold_artifacts(replica)
+        cold_s = min(cold_s, time.perf_counter() - begin)
+
+    assert cold is not None and engine.artifacts is not None
+    identical = engine.artifacts.bitwise_equal(cold)
+    entry = {
+        "before_s": round(cold_s, 6),
+        "after_s": round(update_s, 6),
+        "speedup": round(cold_s / update_s, 2) if update_s > 0 else None,
+        "stream": len(stream),
+        "batch": batch,
+        "category": median,
+    }
+    return entry, identical
+
+
 def run_kernel_bench(
     *,
     num_users: int = 2000,
@@ -99,13 +160,13 @@ def run_kernel_bench(
 ) -> dict:
     """Benchmark the kernel layer and optionally write ``BENCH_perf.json``.
 
-    Returns the result document.  ``quick`` drops the community to 300
+    Returns the result document.  ``quick`` drops the community to 400
     users and a single repeat -- a smoke configuration for CI.
     """
     require_positive("num_users", num_users)
     require_positive("repeats", repeats)
     if quick:
-        num_users = min(num_users, 300)
+        num_users = min(num_users, 400)
         repeats = 1
 
     dataset = generate_community(CommunityProfile(num_users=num_users), seed=seed)
@@ -142,6 +203,16 @@ def run_kernel_bench(
     before_prop, _ = _best_of(lambda: reference_eigen_trust(connections), repeats)
     after_prop, _ = _best_of(lambda: eigen_trust(connections), repeats)
 
+    # --- incremental engine vs cold rebuild ------------------------------
+    # one rating per update: the steady-state arrival pattern the engine
+    # is built for (batched arrival amortises the same stage costs)
+    incremental_entry, incremental_identical = _bench_incremental(
+        community,
+        stream_size=40 if quick else 60,
+        batch=1,
+        repeats=max(repeats, 3),
+    )
+
     def entry(before: float, after: float) -> dict:
         return {
             "before_s": round(before, 6),
@@ -167,9 +238,11 @@ def run_kernel_bench(
             "step1_fit": entry(before_fit, after_fit),
             "step1_fit_batched": entry(before_fit_batched, after_fit_batched),
             "propagation_eigentrust": entry(before_prop, after_prop),
+            "incremental": incremental_entry,
         },
         "derive_matrices_identical": bool(matrices_equal),
         "step1_matrices_identical": bool(step1_equal),
+        "incremental_identical": bool(incremental_identical),
         "observability": {
             "trace_enabled": obs.TRACE_ENABLED,
             "spans": {name: stat.to_dict() for name, stat in sorted(span_stats.items())},
@@ -215,6 +288,12 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="minimum accepted step1_fit speedup under --check",
     )
+    parser.add_argument(
+        "--min-update-speedup",
+        type=float,
+        default=2.0,
+        help="minimum accepted incremental update-vs-cold speedup under --check",
+    )
     args = parser.parse_args(argv)
     document = run_kernel_bench(
         num_users=args.users,
@@ -237,6 +316,16 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"step1_fit speedup {step1_speedup} below floor "
                 f"{args.min_step1_speedup}"
+            )
+        if not document["incremental_identical"]:
+            failures.append(
+                "incremental engine state differs bitwise from the cold build"
+            )
+        update_speedup = document["kernels"]["incremental"]["speedup"]
+        if update_speedup is not None and update_speedup < args.min_update_speedup:
+            failures.append(
+                f"incremental update speedup {update_speedup} below floor "
+                f"{args.min_update_speedup}"
             )
         for record in document["observability"]["convergence"]:
             if not record.get("converged", True):

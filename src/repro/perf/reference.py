@@ -56,7 +56,9 @@ def reference_derive_trust(
     for start in range(0, len(active_rows), block_size):
         block_rows = active_rows[start : start + block_size]
         weights = a_values[block_rows, :] / row_sums[block_rows, None]
-        block = weights @ e_transposed
+        # fixed-reduction-order product, kept identical to
+        # repro.trust.derive._block_product so the bitwise contract holds
+        block = np.einsum("mc,cn->mn", weights, e_transposed, optimize=False)
         for local, i in enumerate(block_rows):
             values = block[local]
             targets = np.nonzero(values > min_value)[0]

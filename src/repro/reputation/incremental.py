@@ -6,40 +6,61 @@ independent, only the category that received new data needs re-solving --
 and re-solving can warm-start from the previous fixed point, which after
 a handful of new ratings is already very close to the new one.
 
-:class:`IncrementalExpertise` wraps a community, tracks which categories
-are dirty, and refreshes exactly those (warm-started) on demand.
+:class:`IncrementalExpertise` subscribes to the community's
+:class:`repro.community.ChangeLog`: every mutator emits a structured
+delta, and :meth:`IncrementalExpertise.refresh` reads the deltas past its
+cursor to infer exactly which categories went stale.  There is no manual
+dirty-flagging step any more -- ``mark_dirty`` / ``mark_all_dirty`` remain
+as deprecated shims that record an explicit ``"touch"`` delta.
 """
 
 from __future__ import annotations
 
+import warnings
+
+import numpy as np
+
+from repro import obs
+from repro.common.arrays import FloatArray
 from repro.common.errors import ValidationError
-from repro.community import Community
+from repro.community import Community, Delta
+from repro.community.columnar import CommunityColumns
 from repro.matrix import LabelIndex, UserCategoryMatrix
 from repro.reputation.estimator import ExpertiseResult
-from repro.reputation.riggs import CategoryFixedPoint, RiggsConfig, solve_category
-from repro.reputation.writer import writer_reputations
+from repro.reputation.riggs import (
+    CategoryFixedPoint,
+    RiggsConfig,
+    solve_category_arrays,
+)
+from repro.reputation.writer import writer_reputation_matrix
 
 __all__ = ["IncrementalExpertise"]
 
+#: Delta kinds that leave every category's fixed point unchanged: objects
+#: and trust statements never enter eqs. 1-3, and a new user has no
+#: activity until a later review/rating delta arrives.
+_INERT_KINDS = frozenset({"object", "trust"})
+
 
 class IncrementalExpertise:
-    """Maintains expertise/rater reputation under new ratings and reviews.
+    """Maintains expertise/rater reputation under community mutations.
 
     Usage::
 
         tracker = IncrementalExpertise(community)
-        result = tracker.fit()                   # full initial solve
-        community.add_rating(...)                # new activity arrives
-        tracker.mark_dirty(category_id)          # or mark_all_dirty()
-        result = tracker.refresh()               # re-solves dirty categories only
+        result = tracker.fit()          # full initial solve
+        community.add_rating(...)       # new activity arrives (logged)
+        result = tracker.refresh()      # re-solves affected categories only
 
-    ``refresh`` is exact: its output always equals a fresh
+    ``refresh`` is exact up to iteration count: its output equals a fresh
     :class:`repro.reputation.ExpertiseEstimator` fit of the current
-    community state (warm starting changes the iteration count, not the
-    fixed point).
+    community state to solver tolerance (warm starting moves where inside
+    the tolerance ball the iteration stops, not the fixed point).  Pass
+    ``warm_start=False`` for bitwise equality with a cold fit -- the
+    incremental engine's exact mode does.
 
-    Limitations: the user and category *axes* are fixed at construction --
-    adding new users or categories requires a new tracker.
+    New users and categories are handled by index growth: both axes are
+    append-only, so previously computed columns keep their positions.
     """
 
     def __init__(
@@ -48,65 +69,74 @@ class IncrementalExpertise:
         config: RiggsConfig | None = None,
         *,
         unrated_policy: str = "exclude",
+        warm_start: bool = True,
     ) -> None:
         self._community = community
         self._config = config or RiggsConfig()
         self._unrated_policy = unrated_policy
+        self._warm_start = warm_start
         self._users = LabelIndex(community.user_ids())
         self._categories = LabelIndex(community.category_ids())
         self._fixed_points: dict[str, CategoryFixedPoint] = {}
-        self._writer_reps: dict[str, dict[str, float]] = {}
+        # dense column caches of E and the rater-reputation matrix; a
+        # refresh rewrites only the re-solved categories' columns
+        self._e_values = np.zeros((len(self._users), len(self._categories)))
+        self._r_values = np.zeros((len(self._users), len(self._categories)))
         self._dirty: set[str] = set(self._categories)
+        self._cursor = community.change_log.epoch
+        self._last_resolved: tuple[str, ...] = ()
         self._fitted = False
 
     # ------------------------------------------------------------------ status
 
     @property
     def dirty_categories(self) -> set[str]:
-        """Categories whose reputation data is stale."""
+        """Categories whose reputation data is stale (change log absorbed)."""
+        self._absorb()
         return set(self._dirty)
 
+    @property
+    def last_resolved(self) -> tuple[str, ...]:
+        """Categories re-solved by the most recent :meth:`refresh` (sorted)."""
+        return self._last_resolved
+
     def mark_dirty(self, category_id: str) -> None:
-        """Flag one category for recomputation at the next refresh."""
-        if category_id not in self._categories:
-            raise ValidationError(f"unknown category {category_id!r}")
-        self._dirty.add(category_id)
+        """Deprecated: flag one category for recomputation.
+
+        The change log makes manual flagging unnecessary; this shim records
+        an explicit ``"touch"`` delta via :meth:`Community.touch`, so every
+        subscriber (not just this tracker) sees the request.
+        """
+        warnings.warn(
+            "IncrementalExpertise.mark_dirty is deprecated; mutators log their "
+            "own deltas -- for an explicit recompute use Community.touch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._community.touch(category_id)
 
     def mark_all_dirty(self) -> None:
-        """Flag every category (e.g. after a bulk import)."""
-        self._dirty = set(self._categories)
+        """Deprecated: flag every category (e.g. after a bulk import)."""
+        warnings.warn(
+            "IncrementalExpertise.mark_all_dirty is deprecated; mutators log "
+            "their own deltas -- for an explicit recompute use Community.touch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._community.touch()
 
     # ------------------------------------------------------------------ solving
 
     def fit(self) -> ExpertiseResult:
         """Initial full solve (equivalent to ``ExpertiseEstimator.fit``)."""
-        self.mark_all_dirty()
-        return self.refresh()
+        self._absorb()
+        self._dirty = set(self._categories)
+        return self._refresh_resolved()
 
     def refresh(self) -> ExpertiseResult:
-        """Re-solve all dirty categories (warm-started) and return the result."""
-        for category_id in sorted(self._dirty):
-            previous = self._fixed_points.get(category_id)
-            warm = previous.rater_reputation if previous is not None else None
-            fixed_point = solve_category(
-                self._community.rating_triples(category_id),
-                self._config,
-                warm_start=warm,
-            )
-            self._fixed_points[category_id] = fixed_point
-            review_writers = {
-                review.review_id: review.writer_id
-                for review in self._community.reviews_in_category(category_id)
-            }
-            self._writer_reps[category_id] = writer_reputations(
-                review_writers,
-                fixed_point.review_quality,
-                experience_discount_enabled=self._config.experience_discount_enabled,
-                unrated_policy=self._unrated_policy,
-            )
-        self._dirty.clear()
-        self._fitted = True
-        return self._assemble()
+        """Absorb new deltas, re-solve affected categories, return the result."""
+        self._absorb()
+        return self._refresh_resolved()
 
     def last_iterations(self, category_id: str) -> int:
         """Solver sweeps used at the last refresh of ``category_id``."""
@@ -115,18 +145,158 @@ class IncrementalExpertise:
             raise ValidationError(f"category {category_id!r} has not been solved yet")
         return fixed_point.iterations
 
+    # ------------------------------------------------------------------ deltas
+
+    def _absorb(self) -> None:
+        """Advance the cursor, growing axes and inferring dirty categories."""
+        deltas = self._community.change_log.since(self._cursor)
+        if not deltas:
+            return
+        self._cursor = self._community.change_log.epoch
+        grow_users = False
+        for delta in deltas:
+            grow_users |= self._apply_delta(delta)
+        if grow_users:
+            self._users = LabelIndex(self._community.user_ids())
+
+    def _apply_delta(self, delta: Delta) -> bool:
+        """Mark dirtiness implied by one delta; return True on user growth."""
+        if delta.kind in _INERT_KINDS:
+            return False
+        if delta.kind == "user":
+            return True
+        if delta.kind == "category":
+            # append-only growth: existing columns keep their positions
+            self._categories = LabelIndex(self._community.category_ids())
+            if delta.category_id is not None:
+                self._dirty.add(delta.category_id)
+            return False
+        if delta.kind == "touch" and delta.category_id is None:
+            self._dirty = set(self._categories)
+            return False
+        # review / rating / targeted touch all carry the affected category
+        if delta.category_id is not None:
+            self._dirty.add(delta.category_id)
+        return False
+
+    # ------------------------------------------------------------------ refresh
+
+    def _refresh_resolved(self) -> ExpertiseResult:
+        resolved = sorted(self._dirty)
+        skipped = len(self._categories) - len(resolved)
+        columns = self._community.columns()
+        self._sync_shapes()
+        for category_id in resolved:
+            fixed_point, e_col, r_col = self._solve_columnar(columns, category_id)
+            self._fixed_points[category_id] = fixed_point
+            c = self._categories.position(category_id)
+            self._e_values[:, c] = e_col
+            self._r_values[:, c] = r_col
+        self._dirty.clear()
+        self._last_resolved = tuple(resolved)
+        self._fitted = True
+        obs.add("step1.incremental.categories_resolved", len(resolved))
+        obs.add("step1.incremental.categories_skipped", skipped)
+        return self._assemble()
+
+    def _solve_columnar(
+        self, columns: CommunityColumns, category_id: str
+    ) -> tuple[CategoryFixedPoint, FloatArray, FloatArray]:
+        """Re-solve one category on the columnar plane.
+
+        Returns the dict-form fixed point plus the category's expertise and
+        rater-reputation columns, bitwise identical to what a cold
+        :func:`repro.reputation.riggs.solve_category` /
+        :func:`repro.reputation.writer.writer_reputations` pass produces:
+        the slot arrays preserve rating insertion order, so every bincount
+        accumulates in the same sequence as the dict scans it replaces.
+        """
+        num_users = len(columns.users)
+        reviews = columns.reviews_slice(category_id)
+        ratings = columns.ratings_slice(category_id)
+        review_local = columns.srt_review_idx[ratings] - reviews.start
+        num_reviews = reviews.stop - reviews.start
+        solved = solve_category_arrays(
+            columns.srt_rater_idx[ratings],
+            review_local,
+            columns.srt_values[ratings],
+            num_raters=num_users,
+            num_reviews=num_reviews,
+            config=self._config,
+            warm_start=self._warm_array(category_id, num_users),
+        )
+        counts = solved.rating_counts
+        active = np.flatnonzero(counts > 0)
+        rated_local = (
+            np.flatnonzero(np.bincount(review_local, minlength=num_reviews) > 0)
+            if review_local.size
+            else np.empty(0, dtype=np.int64)
+        )
+        labels = columns.users.labels
+        review_ids = columns.review_ids
+        fixed_point = CategoryFixedPoint(
+            review_quality={
+                review_ids[reviews.start + j]: float(solved.quality[j])
+                for j in rated_local.tolist()
+            },
+            rater_reputation={
+                labels[u]: float(solved.reputation[u]) for u in active.tolist()
+            },
+            iterations=solved.iterations,
+            residual=solved.residual,
+            rating_counts={labels[u]: int(counts[u]) for u in active.tolist()},
+        )
+        e_col = writer_reputation_matrix(
+            columns.review_writer_idx[reviews],
+            np.zeros(num_reviews, dtype=np.int64),
+            num_users,
+            1,
+            rated_local,
+            solved.quality[rated_local],
+            experience_discount_enabled=self._config.experience_discount_enabled,
+            unrated_policy=self._unrated_policy,
+        )[:, 0]
+        r_col = np.where(counts > 0, solved.reputation, 0.0)
+        return fixed_point, e_col, r_col
+
+    def _warm_array(self, category_id: str, num_users: int) -> FloatArray | None:
+        """Per-user warm-start reputations from the previous fixed point."""
+        if not self._warm_start:
+            return None
+        previous = self._fixed_points.get(category_id)
+        if previous is None or not previous.rater_reputation:
+            return None
+        warm = np.full(num_users, self._config.initial_reputation, dtype=np.float64)
+        positions = self._users.positions(previous.rater_reputation.keys())
+        warm[positions] = np.clip(
+            np.fromiter(
+                previous.rater_reputation.values(),
+                dtype=np.float64,
+                count=len(previous.rater_reputation),
+            ),
+            0.0,
+            1.0,
+        )
+        obs.add("step1.warm_start_hits", positions.size)
+        return warm
+
     # ------------------------------------------------------------------ assembly
 
+    def _sync_shapes(self) -> None:
+        """Zero-pad the dense column caches after append-only axis growth."""
+        shape = (len(self._users), len(self._categories))
+        if self._e_values.shape != shape:
+            for name in ("_e_values", "_r_values"):
+                old = getattr(self, name)
+                grown = np.zeros(shape)
+                grown[: old.shape[0], : old.shape[1]] = old
+                setattr(self, name, grown)
+
     def _assemble(self) -> ExpertiseResult:
-        expertise = UserCategoryMatrix(self._users, self._categories)
-        rater_rep = UserCategoryMatrix(self._users, self._categories)
-        for category_id, fixed_point in self._fixed_points.items():
-            for rater_id, value in fixed_point.rater_reputation.items():
-                rater_rep.set(rater_id, category_id, value)
-            for writer_id, value in self._writer_reps[category_id].items():
-                expertise.set(writer_id, category_id, value)
         return ExpertiseResult(
-            expertise=expertise,
-            rater_reputation=rater_rep,
+            expertise=UserCategoryMatrix(self._users, self._categories, self._e_values),
+            rater_reputation=UserCategoryMatrix(
+                self._users, self._categories, self._r_values
+            ),
             fixed_points=dict(self._fixed_points),
         )

@@ -69,13 +69,13 @@ class TestR1CacheInvalidation:
                     self._rows.append(user)
             """
         )
-        assert rules_of(bad) == ["R1"]
+        assert rules_of(bad) == ["R1", "R7"]
         good = lint(
             """
             class Community:
                 def add_user(self, user):
                     self._rows.append(user)
-                    self._mutated()
+                    self._record("user", user_id=user)
             """
         )
         assert good == []
@@ -98,7 +98,7 @@ class TestR1CacheInvalidation:
                     self._db.insert("trust", statement)
             """
         )
-        assert rules_of(findings) == ["R1"]
+        assert rules_of(findings) == ["R1", "R7"]
 
     def test_read_only_methods_are_clean(self):
         findings = lint(
@@ -435,6 +435,82 @@ class TestR6ContextManagedSpans:
                 return obs.span("step1.fit")  # repro: allow(R6): factory shim
             """
         )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- R7
+
+
+class TestR7MutatorsEmitDeltas:
+    def test_fires_when_mutator_only_invalidates(self):
+        findings = lint(
+            """
+            class Community:
+                def add_user(self, user):
+                    self._rows.append(user)
+                    self._mutated()
+            """
+        )
+        assert rules_of(findings) == ["R7"]
+        assert "self._record" in findings[0].message
+
+    def test_passes_when_mutator_records_a_delta(self):
+        findings = lint(
+            """
+            class Community:
+                def add_user(self, user):
+                    self._rows.append(user)
+                    self._record("user", user_id=user)
+            """
+        )
+        assert findings == []
+
+    def test_read_only_methods_are_exempt(self):
+        findings = lint(
+            """
+            class Community:
+                def user_ids(self):
+                    return list(self._rows)
+            """
+        )
+        assert findings == []
+
+    def test_private_helpers_are_exempt(self):
+        findings = lint(
+            """
+            class Community:
+                def _rebuild(self):
+                    self._rows.append(None)
+                    self._mutated()
+            """
+        )
+        assert findings == []
+
+    def test_other_classes_are_exempt(self):
+        findings = lint(
+            """
+            class UserPairMatrix:
+                def set(self, key, value):
+                    self._store[key] = value
+                    self._invalidate()
+            """
+        )
+        assert findings == []
+
+    def test_waivable(self):
+        findings = lint(
+            """
+            class Community:
+                def bulk_import(self, rows):  # repro: allow(R7): log elsewhere
+                    self._rows.extend(rows)
+                    self._mutated()
+            """
+        )
+        assert findings == []
+
+    def test_real_community_module_is_clean(self):
+        source = pathlib.Path("src/repro/community/community.py").read_text()
+        findings = lint_source(source, "src/repro/community/community.py")
         assert findings == []
 
 

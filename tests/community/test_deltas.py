@@ -1,0 +1,134 @@
+"""Tests for the structured change log: Delta records and epoch semantics."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.community import (
+    ChangeLog,
+    Community,
+    Delta,
+    Review,
+    ReviewRating,
+    ReviewedObject,
+    TrustStatement,
+)
+
+
+class TestChangeLog:
+    def test_fresh_log_is_empty_at_epoch_zero(self):
+        log = ChangeLog()
+        assert log.epoch == 0
+        assert len(log) == 0
+        assert log.since(0) == ()
+
+    def test_record_assigns_monotonic_epochs(self):
+        log = ChangeLog()
+        first = log.record("user", user_id="alice")
+        second = log.record("rating", user_id="bob", category_id="movies")
+        assert (first.epoch, second.epoch) == (1, 2)
+        assert log.epoch == 2
+        assert list(log) == [first, second]
+
+    def test_record_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            ChangeLog().record("merge")
+
+    def test_since_returns_suffix_oldest_first(self):
+        log = ChangeLog()
+        for i in range(4):
+            log.record("user", user_id=f"u{i}")
+        tail = log.since(2)
+        assert [d.epoch for d in tail] == [3, 4]
+        assert log.since(4) == ()
+        assert len(log.since(0)) == 4
+
+    @pytest.mark.parametrize("cursor", [-1, 5])
+    def test_since_rejects_out_of_range_cursor(self, cursor):
+        log = ChangeLog()
+        log.record("user", user_id="a")
+        with pytest.raises(ValidationError):
+            log.since(cursor)
+
+    def test_count_growth_ignores_unencoded_kinds(self):
+        log = ChangeLog()
+        log.record("user", user_id="a")
+        log.record("category", category_id="c")
+        log.record("object", target_id="o1", category_id="c")
+        log.record("review", user_id="a", category_id="c", target_id="r1")
+        log.record("rating", user_id="b", category_id="c", target_id="r1")
+        log.record("trust", user_id="a", target_id="b")
+        log.record("touch")
+        assert log.count_growth(0) == (1, 1, 1, 1)
+        assert log.count_growth(log.epoch) == (0, 0, 0, 0)
+
+    def test_deltas_are_immutable(self):
+        delta = ChangeLog().record("user", user_id="a")
+        with pytest.raises(AttributeError):
+            delta.kind = "trust"
+
+
+class TestMutatorsEmitDeltas:
+    """Every Community mutator appends exactly one structured delta (rule R7)."""
+
+    def test_full_mutation_sequence(self):
+        community = Community("log")
+        community.add_user("alice")
+        community.add_user("bob")
+        community.add_category("movies")
+        community.add_object(ReviewedObject("m1", "movies"))
+        community.add_review(Review("r1", "alice", "m1"))
+        community.add_rating(ReviewRating("bob", "r1", 0.8))
+        community.add_trust(TrustStatement("bob", "alice"))
+
+        log = community.change_log
+        assert log.epoch == 7
+        kinds = [d.kind for d in log]
+        assert kinds == [
+            "user", "user", "category", "object", "review", "rating", "trust",
+        ]
+        rating = log.since(5)[0]
+        assert rating == Delta(
+            epoch=6,
+            kind="rating",
+            user_id="bob",
+            category_id="movies",
+            target_id="r1",
+        )
+        trust = log.since(6)[0]
+        assert (trust.user_id, trust.target_id) == ("bob", "alice")
+
+    def test_review_delta_carries_object_category(self, two_category_community):
+        epoch = two_category_community.change_log.epoch
+        two_category_community.add_review(Review("rb7", "bob", "m2"))
+        (delta,) = two_category_community.change_log.since(epoch)
+        assert delta.kind == "review"
+        assert delta.category_id == "movies"
+        assert delta.user_id == "bob"
+
+    def test_failed_mutation_logs_nothing(self, two_category_community):
+        epoch = two_category_community.change_log.epoch
+        from repro.common.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            two_category_community.add_review(Review("rx", "bob", "ghost"))
+        assert two_category_community.change_log.epoch == epoch
+
+    def test_touch_records_explicit_recompute(self, two_category_community):
+        epoch = two_category_community.change_log.epoch
+        two_category_community.touch("movies")
+        two_category_community.touch()
+        targeted, blanket = two_category_community.change_log.since(epoch)
+        assert (targeted.kind, targeted.category_id) == ("touch", "movies")
+        assert (blanket.kind, blanket.category_id) == ("touch", None)
+
+    def test_touch_unknown_category_rejected(self, two_category_community):
+        with pytest.raises(ValidationError):
+            two_category_community.touch("ghost")
+
+    def test_logs_are_per_community(self):
+        a, b = Community("a"), Community("b")
+        a.add_user("u1")
+        assert a.change_log.epoch == 1
+        assert b.change_log.epoch == 0
+        with pytest.raises(ValidationError):
+            b.change_log.since(1)

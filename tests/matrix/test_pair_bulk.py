@@ -209,3 +209,121 @@ class TestInterleavedWrites:
             else:
                 assert m.num_entries() == len(shadow)  # interleave a read
         assert {(s, t): v for s, t, v in m.entries()} == pytest.approx(shadow)
+
+
+class TestFromFlatSorted:
+    def test_matches_from_arrays(self, users):
+        n = len(users)
+        rows = np.array([0, 1, 3])
+        cols = np.array([2, 0, 4])
+        values = np.array([0.5, 0.25, 1.0])
+        keys = np.sort(rows * n + cols)
+        order = np.argsort(rows * n + cols, kind="stable")
+        fast = UserPairMatrix.from_flat_sorted(users, keys, values[order])
+        assert fast == UserPairMatrix.from_arrays(users, rows, cols, values)
+
+    def test_empty_keys_ok(self, users):
+        m = UserPairMatrix.from_flat_sorted(
+            users, np.array([], dtype=np.int64), np.array([], dtype=np.float64)
+        )
+        assert m.num_entries() == 0
+
+    def test_unsorted_keys_rejected(self, users):
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            UserPairMatrix.from_flat_sorted(users, np.array([3, 1]), np.array([0.5, 0.5]))
+
+    def test_duplicate_keys_rejected(self, users):
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            UserPairMatrix.from_flat_sorted(users, np.array([3, 3]), np.array([0.5, 0.5]))
+
+    def test_out_of_range_keys_rejected(self, users):
+        n = len(users)
+        with pytest.raises(ValidationError, match="keys must lie"):
+            UserPairMatrix.from_flat_sorted(users, np.array([n * n]), np.array([0.5]))
+        with pytest.raises(ValidationError, match="keys must lie"):
+            UserPairMatrix.from_flat_sorted(users, np.array([-1]), np.array([0.5]))
+
+    def test_shape_mismatch_rejected(self, users):
+        with pytest.raises(ValidationError, match="equal-length"):
+            UserPairMatrix.from_flat_sorted(users, np.array([1, 2]), np.array([0.5]))
+
+    def test_non_finite_rejected(self, users):
+        with pytest.raises(ValidationError, match="finite"):
+            UserPairMatrix.from_flat_sorted(users, np.array([1]), np.array([np.inf]))
+
+
+def _region_of(dense, users, rows, cols):
+    """All nonzero entries of ``dense`` whose row or col position changed."""
+    n = dense.shape[0]
+    region = UserPairMatrix(users)
+    for i in range(n):
+        for j in range(n):
+            if (i in rows or j in cols) and dense[i, j] != 0.0:
+                region.set(users.label(i), users.label(j), float(dense[i, j]))
+    return region
+
+
+class TestPatched:
+    def _dense(self, m, n):
+        out = np.zeros((n, n))
+        for s, t, v in m.entries():
+            out[m.users.position(s), m.users.position(t)] = v
+        return out
+
+    def test_patch_equals_dense_scatter(self, users):
+        n = len(users)
+        rng = np.random.default_rng(5)
+        old_dense = (rng.random((n, n)) * (rng.random((n, n)) < 0.6)).round(3)
+        old = UserPairMatrix.from_arrays(users, *np.nonzero(old_dense), old_dense[np.nonzero(old_dense)])
+        new_dense = old_dense.copy()
+        rows, cols = {1, 3}, {0}
+        for i in rows:
+            new_dense[i, :] = (rng.random(n) * (rng.random(n) < 0.7)).round(3)
+        for j in cols:
+            new_dense[:, j] = (rng.random(n) * (rng.random(n) < 0.7)).round(3)
+        region = _region_of(new_dense, users, rows, cols)
+        patched, kept = old.patched(
+            users, region, rows=np.array(sorted(rows)), cols=np.array(sorted(cols))
+        )
+        np.testing.assert_array_equal(self._dense(patched, n), new_dense)
+        # kept = old entries outside the changed region
+        outside = sum(
+            1 for s, t, _ in old.entries()
+            if old.users.position(s) not in rows and old.users.position(t) not in cols
+        )
+        assert kept == outside
+
+    def test_patch_with_user_growth(self, users):
+        grown = LabelIndex(list(users.labels) + ["u5"])
+        old = UserPairMatrix.from_arrays(users, [0, 2], [1, 3], [0.5, 0.25])
+        region = UserPairMatrix(grown)
+        region.set("u5", "u0", 0.75)
+        region.set("u0", "u5", 0.1)
+        patched, kept = old.patched(
+            grown, region, rows=np.array([5]), cols=np.array([5])
+        )
+        assert kept == 2
+        assert patched.users is grown
+        assert patched.get("u0", "u1") == 0.5
+        assert patched.get("u5", "u0") == 0.75
+        assert patched.get("u0", "u5") == 0.1
+
+    def test_region_on_wrong_axis_rejected(self, users):
+        other = LabelIndex(["a", "b", "c", "d", "e"])
+        old = UserPairMatrix.from_arrays(users, [0], [1], [0.5])
+        region = UserPairMatrix(other)
+        with pytest.raises(ValidationError, match="region"):
+            old.patched(users, region, rows=np.array([0]), cols=np.array([0]))
+
+    def test_non_extension_axis_rejected(self, users):
+        shrunk = LabelIndex(["u0", "u1"])
+        old = UserPairMatrix.from_arrays(users, [0], [1], [0.5])
+        region = UserPairMatrix(shrunk)
+        with pytest.raises(ValidationError, match="extend"):
+            old.patched(shrunk, region, rows=np.array([0]), cols=np.array([0]))
+
+    def test_out_of_range_positions_rejected(self, users):
+        old = UserPairMatrix.from_arrays(users, [0], [1], [0.5])
+        region = UserPairMatrix(users)
+        with pytest.raises(ValidationError, match="rows positions"):
+            old.patched(users, region, rows=np.array([9]), cols=np.array([], dtype=np.int64))

@@ -69,6 +69,26 @@ class TestRenderTraceReport:
     def test_empty_document(self):
         assert render_trace_report({}) == "(empty trace)"
 
+    def test_engine_section_absent_without_engine_counters(self):
+        assert "Incremental engine" not in render_trace_report(sample_document())
+
+    def test_engine_section_summarises_reuse(self):
+        recorder = Recorder()
+        with obs.use_recorder(recorder):
+            obs.add("engine.deltas_applied", 3)
+            obs.add("step1.incremental.categories_resolved", 1)
+            obs.add("step1.incremental.categories_skipped", 4)
+            obs.add("engine.derive.pairs_rederived", 120)
+            obs.add("engine.derive.pairs_reused", 880)
+            obs.add("engine.propagation.iterations_saved", 17)
+        text = render_trace_report(recorder.to_dict())
+        assert "Incremental engine" in text
+        lines = text.splitlines()
+        categories = next(l for l in lines if l.startswith("step1 categories"))
+        assert "80.0%" in categories
+        pairs = next(l for l in lines if l.startswith("derive pairs"))
+        assert "120" in pairs and "880" in pairs and "88.0%" in pairs
+
 
 class TestReportCli:
     def write_trace(self, tmp_path, document):

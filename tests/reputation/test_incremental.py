@@ -58,8 +58,8 @@ class TestIncrementalExpertise:
         tracker = IncrementalExpertise(two_category_community)
         tracker.fit()
 
+        # no manual flagging: the mutator's delta reaches the tracker
         two_category_community.add_rating(ReviewRating("carol", "ra1", 0.6))
-        tracker.mark_dirty("movies")
         incremental = tracker.refresh()
         full = ExpertiseEstimator().fit(two_category_community)
         assert results_equal(incremental, full)
@@ -70,10 +70,11 @@ class TestIncrementalExpertise:
         before_books = tracker.last_iterations("books")
 
         two_category_community.add_rating(ReviewRating("carol", "ra1", 0.6))
-        tracker.mark_dirty("movies")
+        assert tracker.dirty_categories == {"movies"}
         tracker.refresh()
         # books was not recomputed: same fixed-point object statistics
         assert tracker.last_iterations("books") == before_books
+        assert tracker.last_resolved == ("movies",)
         assert tracker.dirty_categories == set()
 
     def test_new_review_refresh(self, two_category_community):
@@ -82,23 +83,39 @@ class TestIncrementalExpertise:
         two_category_community.add_object(ReviewedObject("m5", "movies"))
         two_category_community.add_review(Review("rb9", "bob", "m5"))
         two_category_community.add_rating(ReviewRating("dave", "rb9", 1.0))
-        tracker.mark_dirty("movies")
         assert results_equal(
             tracker.refresh(), ExpertiseEstimator().fit(two_category_community)
         )
 
+    def test_new_user_grows_axis(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        n_before = tracker.fit().expertise.shape[0]
+        two_category_community.add_user("frank")
+        result = tracker.refresh()
+        assert result.expertise.shape[0] == n_before + 1
+        assert results_equal(result, ExpertiseEstimator().fit(two_category_community))
+
+    def test_mark_dirty_is_deprecated_touch(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        tracker.fit()
+        with pytest.warns(DeprecationWarning, match="mark_dirty is deprecated"):
+            tracker.mark_dirty("movies")
+        assert tracker.dirty_categories == {"movies"}
+
     def test_mark_dirty_unknown_category(self, two_category_community):
         tracker = IncrementalExpertise(two_category_community)
-        with pytest.raises(ValidationError):
-            tracker.mark_dirty("ghost")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValidationError):
+                tracker.mark_dirty("ghost")
 
     def test_last_iterations_before_solve(self, two_category_community):
         tracker = IncrementalExpertise(two_category_community)
         with pytest.raises(ValidationError):
             tracker.last_iterations("movies")
 
-    def test_mark_all_dirty(self, two_category_community):
+    def test_mark_all_dirty_is_deprecated_touch(self, two_category_community):
         tracker = IncrementalExpertise(two_category_community)
         tracker.fit()
-        tracker.mark_all_dirty()
+        with pytest.warns(DeprecationWarning, match="mark_all_dirty is deprecated"):
+            tracker.mark_all_dirty()
         assert tracker.dirty_categories == {"movies", "books"}

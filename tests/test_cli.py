@@ -48,6 +48,18 @@ class TestCommands:
         source, target, value = lines[0].split("|")
         assert 0.0 < float(value) <= 1.0
 
+    def test_update_replays_stream_and_verifies(self, capsys):
+        assert main(["update", *ARGS, "--stream", "6", "--batch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cold build at epoch" in out
+        assert "Incremental updates" in out
+        assert "final state verified bitwise against a cold build" in out
+
+    def test_update_skip_verify(self, capsys):
+        assert main(["update", *ARGS, "--stream", "2", "--skip-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified bitwise" not in out
+
     def test_table4_command(self, capsys):
         assert main(["table4", *ARGS]) == 0
         out = capsys.readouterr().out

@@ -160,3 +160,75 @@ class TestDerivationProperties:
             j = users.index(target)
             assert value <= e[j].max() + 1e-9
             assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestDeriveRegion:
+    """derive_region must store bitwise what a full derive stores there."""
+
+    def _random_matrices(self, seed, n=19, c=3):
+        rng = np.random.default_rng(seed)
+        a = rng.random((n, c)) * (rng.random((n, c)) < 0.7)
+        e = rng.random((n, c)) * (rng.random((n, c)) < 0.7)
+        users = [f"u{i}" for i in range(n)]
+        cats = [f"c{j}" for j in range(c)]
+        return (
+            UserCategoryMatrix(users, cats, a),
+            UserCategoryMatrix(users, cats, e),
+        )
+
+    def _region_support(self, full, rows, cols):
+        users = full.users
+        keep = {
+            (s, t)
+            for s, t in full.support()
+            if users.position(s) in rows or users.position(t) in cols
+        }
+        return full.restrict_to(keep)
+
+    @pytest.mark.parametrize(
+        "rows,cols",
+        [
+            ((2, 7), (4,)),          # single col exercises the padded path
+            ((0,), ()),              # rows only
+            ((), (3, 8, 11)),        # cols only
+            ((1, 2, 3, 4), (1, 2)),  # overlapping rows and cols
+        ],
+    )
+    def test_bitwise_equals_full_derive_on_region(self, rows, cols):
+        A, E = self._random_matrices(23)
+        deriver = TrustDeriver()
+        full = deriver.derive(A, E)
+        region = deriver.derive_region(
+            A, E, rows=np.asarray(rows, dtype=np.int64), cols=np.asarray(cols, dtype=np.int64)
+        )
+        expected = self._region_support(full, set(rows), set(cols))
+        assert region.support() == expected.support()
+        for s, t, v in region.entries():
+            # bitwise: exact float equality, no tolerance
+            assert v == full.get(s, t)
+
+    def test_empty_region_is_empty(self):
+        A, E = self._random_matrices(3)
+        region = TrustDeriver().derive_region(
+            A, E, rows=np.array([], dtype=np.int64), cols=np.array([], dtype=np.int64)
+        )
+        assert region.num_entries() == 0
+
+    def test_block_size_does_not_change_region(self):
+        A, E = self._random_matrices(9)
+        rows = np.array([1, 5, 6], dtype=np.int64)
+        cols = np.array([0, 2], dtype=np.int64)
+        small = TrustDeriver(block_size=2).derive_region(A, E, rows=rows, cols=cols)
+        large = TrustDeriver(block_size=1000).derive_region(A, E, rows=rows, cols=cols)
+        assert small == large
+
+    def test_out_of_range_positions_rejected(self):
+        A, E = self._random_matrices(1, n=4)
+        with pytest.raises(ValidationError, match="rows positions"):
+            TrustDeriver().derive_region(
+                A, E, rows=np.array([4]), cols=np.array([], dtype=np.int64)
+            )
+        with pytest.raises(ValidationError, match="cols positions"):
+            TrustDeriver().derive_region(
+                A, E, rows=np.array([], dtype=np.int64), cols=np.array([-1])
+            )
