@@ -25,9 +25,9 @@ R4  :class:`repro.community.CommunityColumns` attributes are write-once:
     inside the class nor on a ``columns()`` view held by a consumer.
 R5  Modules of the strict-typed packages (``repro.matrix``,
     ``repro.community``, ``repro.propagation``, ``repro.reputation``,
-    ``repro.obs``, ``repro.engine``) must annotate every function
-    parameter and return type (the local, always-runnable mirror of the
-    ``mypy --strict`` CI gate).
+    ``repro.obs``, ``repro.engine``, ``repro.shard``) must annotate
+    every function parameter and return type (the local, always-runnable
+    mirror of the ``mypy --strict`` CI gate).
 R6  ``span(...)`` calls (the :mod:`repro.obs` timing API) must be entered
     through the context-manager protocol: the call must be a ``with``
     item (or be handed to ``enter_context(...)``).  A bare call leaks an
@@ -128,10 +128,19 @@ _SET_RETURNING_CALLS = frozenset(
 )
 
 _NUMERIC_PACKAGES = frozenset(
-    {"matrix", "community", "reputation", "propagation", "trust", "affinity", "metrics"}
+    {
+        "matrix",
+        "community",
+        "reputation",
+        "propagation",
+        "trust",
+        "affinity",
+        "metrics",
+        "shard",
+    }
 )
 _TYPED_PACKAGES = frozenset(
-    {"matrix", "community", "propagation", "reputation", "obs", "engine"}
+    {"matrix", "community", "propagation", "reputation", "obs", "engine", "shard"}
 )
 
 #: R4: the write-once columnar view class and its constructor entry points.

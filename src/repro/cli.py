@@ -10,6 +10,8 @@ Subcommands
   a suffix of ratings, replay them in batches through
   :class:`repro.engine.Engine`, print what each update recomputed vs
   reused, and verify the final state bitwise against a cold build;
+- ``shard`` -- build / inspect / verify a sharded artifact store
+  (:mod:`repro.shard.cli`);
 - ``table2`` / ``table3`` / ``fig3`` / ``table4`` / ``score-gap`` /
   ``ablations`` / ``propagation`` -- reproduce one experiment;
 - ``all`` -- run every experiment and print the full report.
@@ -50,6 +52,7 @@ from repro.experiments import (
 )
 from repro.experiments.ablations import render_ablations, run_ablations
 from repro.reporting import render_table
+from repro.shard.cli import add_shard_parser, run_shard
 
 __all__ = ["main", "build_parser"]
 
@@ -104,6 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the final bitwise comparison against a cold build",
     )
+
+    add_shard_parser(sub)
 
     for name in _EXPERIMENT_NAMES:
         experiment = sub.add_parser(name, help=f"reproduce {name}")
@@ -188,6 +193,9 @@ def _run(args: argparse.Namespace) -> int:
 
     if args.command == "update":
         return _run_update(args, out)
+
+    if args.command == "shard":
+        return run_shard(args, out)
 
     if args.command == "report":
         from repro.experiments import build_report

@@ -271,8 +271,8 @@ class Community:
 
         Adds no data; subscribers (e.g. the incremental Step-1 tracker)
         treat the named category -- or every category when ``None`` -- as
-        dirty.  This is the change-log replacement for the deprecated
-        manual ``mark_dirty`` calls.
+        dirty.  This is the change-log replacement for manual
+        dirty-flagging.
         """
         if category_id is not None:
             self._require_category(category_id)
@@ -309,6 +309,11 @@ class Community:
             if old_epoch == epoch and old_counts == counts:
                 obs.add("community.columns.hit")
                 return self._columns
+            if old_epoch < self._log.floor:
+                # the deltas between the snapshot and now were compacted
+                # away; nothing to replay, rebuild from scratch
+                obs.add("community.columns.invalidated")
+                return self._rebuild_columns(epoch, counts)
             growth = self._log.count_growth(old_epoch)
             predicted = tuple(old + new for old, new in zip(old_counts, growth))
             if predicted == counts:
@@ -332,6 +337,11 @@ class Community:
             # rows appeared that no delta announced (a direct bulk load):
             # the incremental merge cannot trust its segment bookkeeping
             obs.add("community.columns.invalidated")
+        return self._rebuild_columns(epoch, counts)
+
+    def _rebuild_columns(
+        self, epoch: int, counts: tuple[int, int, int, int]
+    ) -> CommunityColumns:
         obs.add("community.columns.miss")
         with obs.span(
             "community.columns.build",

@@ -12,6 +12,15 @@ Epochs are monotonically increasing, starting at 1 for the first delta; a
 freshly created community sits at epoch 0.  The log is append-only and
 per-community, so a cursor taken from one community is meaningless on
 another.
+
+Long-running communities would otherwise accumulate one :class:`Delta`
+per mutation forever, so a coordinator that knows every subscriber has
+caught up (the staged :class:`repro.engine.Engine` after an update) can
+:meth:`ChangeLog.compact` the consumed prefix.  Compaction never renames
+epochs -- it only forgets deltas at or below the new :attr:`ChangeLog.floor`
+-- and :meth:`since` rejects cursors from before the floor, so a stale
+subscriber fails loudly (and should fall back to a full rebuild) rather
+than silently missing mutations.
 """
 
 from __future__ import annotations
@@ -65,17 +74,28 @@ class Delta:
 
 
 class ChangeLog:
-    """Append-only log of :class:`Delta` records with monotonic epochs."""
+    """Append-only log of :class:`Delta` records with monotonic epochs.
 
-    __slots__ = ("_deltas",)
+    A compacted log keeps only deltas with ``epoch > floor``; epochs are
+    global positions and never shift.
+    """
+
+    __slots__ = ("_deltas", "_floor")
 
     def __init__(self) -> None:
         self._deltas: list[Delta] = []
+        self._floor = 0
 
     @property
     def epoch(self) -> int:
         """Epoch of the newest delta (0 when the log is empty)."""
-        return len(self._deltas)
+        return self._floor + len(self._deltas)
+
+    @property
+    def floor(self) -> int:
+        """Oldest epoch still replayable: :meth:`since` accepts cursors
+        ``>= floor``.  0 until the first :meth:`compact`."""
+        return self._floor
 
     def record(
         self,
@@ -89,7 +109,7 @@ class ChangeLog:
         if kind not in _KINDS:
             raise ValidationError(f"unknown delta kind {kind!r}")
         delta = Delta(
-            epoch=len(self._deltas) + 1,
+            epoch=self.epoch + 1,
             kind=kind,
             user_id=user_id,
             category_id=category_id,
@@ -101,15 +121,40 @@ class ChangeLog:
     def since(self, epoch: int) -> tuple[Delta, ...]:
         """All deltas with ``delta.epoch > epoch`` (oldest first).
 
-        ``since(0)`` replays the whole log; ``since(self.epoch)`` is empty.
-        A cursor ahead of the log is rejected -- it can only come from a
-        different community's log.
+        ``since(floor)`` replays every retained delta; ``since(self.epoch)``
+        is empty.  A cursor ahead of the log is rejected -- it can only
+        come from a different community's log -- and a cursor below the
+        compaction :attr:`floor` is rejected too, because deltas it never
+        saw have been dropped (the caller must resynchronise in full).
         """
-        if epoch < 0 or epoch > len(self._deltas):
+        if epoch < self._floor or epoch > self.epoch:
             raise ValidationError(
-                f"epoch {epoch} outside this log's range [0, {len(self._deltas)}]"
+                f"epoch {epoch} outside this log's range "
+                f"[{self._floor}, {self.epoch}]"
             )
-        return tuple(self._deltas[epoch:])
+        return tuple(self._deltas[epoch - self._floor :])
+
+    def compact(self, upto: int | None = None) -> int:
+        """Forget deltas with ``epoch <= upto``; returns how many were dropped.
+
+        ``upto`` defaults to the newest epoch (drop everything).  Only a
+        coordinator that knows every subscriber's cursor has passed
+        ``upto`` may call this -- a subscriber left behind will have its
+        next :meth:`since` rejected and must rebuild from scratch.
+        """
+        if upto is None:
+            upto = self.epoch
+        if upto < 0 or upto > self.epoch:
+            raise ValidationError(
+                f"compaction point {upto} outside this log's range "
+                f"[0, {self.epoch}]"
+            )
+        if upto <= self._floor:
+            return 0
+        dropped = upto - self._floor
+        del self._deltas[:dropped]
+        self._floor = upto
+        return dropped
 
     def count_growth(self, epoch: int) -> tuple[int, int, int, int]:
         """Rows the deltas after ``epoch`` added, as

@@ -17,6 +17,20 @@ The iteration runs on the sparse CSR view of the trust web -- pass a
 :class:`repro.matrix.UserPairMatrix` to reuse its cached CSR directly; a
 :class:`networkx.DiGraph` is accepted for compatibility and converted
 once.
+
+Out-of-core sweep
+-----------------
+A :class:`repro.shard.ShardedPairMatrix` input runs the same fixed point
+without ever materialising the whole spread operator: each row-block
+shard's transposed, scaled CSR is written to a temporary store once, and
+every iteration memory-maps the per-shard operators and accumulates them
+into one output vector via scipy's ``csr_matvec`` kernel.  That kernel
+adds into the running ``y[i]`` element-by-element in source-row order, so
+sweeping the shards in ascending row order reproduces the monolithic
+``spread_op @ t`` product **bitwise** -- the per-shard partial-sum
+formulation (``y += block.T @ t_block``) would not, because it changes
+the additions' parenthesisation.  Peak memory is one shard's operator
+plus the O(U) iteration vectors.
 """
 
 # repro: hot-path
@@ -24,24 +38,28 @@ once.
 from __future__ import annotations
 
 import warnings
-from typing import Mapping
+from typing import TYPE_CHECKING, Callable, Mapping, Union
 
 import numpy as np
 from scipy import sparse
+from scipy.sparse import _sparsetools
 
 from repro import obs
-from repro.common.arrays import FloatArray
+from repro.common.arrays import BoolArray, FloatArray
 from repro.common.errors import ValidationError
 from repro.common.validation import require_fraction, require_positive
-from repro.matrix import LabelIndex
+from repro.matrix import LabelIndex, UserPairMatrix
 from repro.propagation._adjacency import TrustWeb, as_pair_matrix
 from repro.propagation.scores import PropagationScores
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.matrix import ShardedPairMatrix
 
 __all__ = ["eigen_trust"]
 
 
 def eigen_trust(
-    web: TrustWeb,
+    web: "TrustWeb | ShardedPairMatrix",
     *,
     weight_key: str = "trust",
     pretrust: dict[str, float] | None = None,
@@ -86,39 +104,39 @@ def eigen_trust(
     require_positive("tolerance", tolerance)
     require_positive("max_iterations", max_iterations)
 
-    matrix = as_pair_matrix(web, weight_key=weight_key)
-    users = matrix.users
+    from repro.shard.matrix import ShardedPairMatrix
+
+    if isinstance(web, ShardedPairMatrix):
+        users = web.users
+        sharded: "ShardedPairMatrix | None" = web
+        matrix = None
+    else:
+        matrix = as_pair_matrix(web, weight_key=weight_key)
+        users = matrix.users
+        sharded = None
     n = len(users)
     if n == 0:
         return PropagationScores(LabelIndex(()), np.zeros(0))
 
-    with obs.span("propagation.eigentrust", users=n):
-        adjacency = matrix.csr()
-        if adjacency.nnz and adjacency.data.size and float(adjacency.data.min()) < 0.0:
-            raise ValidationError("EigenTrust requires non-negative edge weights")
+    with obs.span(
+        "propagation.eigentrust",
+        users=n,
+        shards=0 if sharded is None else sharded.num_shards,
+    ):
+        if sharded is not None:
+            apply_spread, dangling = _sharded_spread(sharded)
+        else:
+            assert matrix is not None
+            apply_spread, dangling = _dense_spread(matrix)
 
         p = _pretrust_vector(pretrust, users)
-
-        row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
-        dangling = row_sums == 0.0
-        inverse = np.where(dangling, 0.0, 1.0 / np.where(dangling, 1.0, row_sums))
-        # column-oriented form of the row-normalised matrix, so each sweep is
-        # one sparse mat-vec; scaling the CSR data directly multiplies the
-        # same inverse[i] * a_ij products a diagonal matmul would, without
-        # paying a sparse-sparse product to do it
-        scale = np.repeat(inverse, np.diff(adjacency.indptr))
-        spread_op = sparse.csr_matrix(
-            (adjacency.data * scale, adjacency.indices, adjacency.indptr),
-            shape=adjacency.shape,
-        ).T.tocsr()
-
         t = _initial_vector(initial, users, p)
         converged = False
         iterations = 0
         residual = float("inf")
         for iterations in range(1, max_iterations + 1):
             # dangling users are treated as trusting the pre-trusted peers
-            spread = spread_op @ t + p * float(t[dangling].sum())
+            spread = apply_spread(t) + p * float(t[dangling].sum())
             new_t = (1.0 - alpha) * spread + alpha * p
             total = new_t.sum()
             if total > 0:
@@ -146,6 +164,86 @@ def eigen_trust(
         return PropagationScores(
             users, t, converged=converged, iterations=iterations, residual=residual
         )
+
+
+def _dense_spread(
+    matrix: "UserPairMatrix",
+) -> tuple[Callable[[FloatArray], FloatArray], BoolArray]:
+    """The in-memory spread operator: one cached transposed CSR."""
+    adjacency = matrix.csr()
+    if adjacency.nnz and adjacency.data.size and float(adjacency.data.min()) < 0.0:
+        raise ValidationError("EigenTrust requires non-negative edge weights")
+    row_sums = np.asarray(adjacency.sum(axis=1)).ravel()
+    dangling: BoolArray = row_sums == 0.0
+    inverse = np.where(dangling, 0.0, 1.0 / np.where(dangling, 1.0, row_sums))
+    # column-oriented form of the row-normalised matrix, so each sweep is
+    # one sparse mat-vec; scaling the CSR data directly multiplies the
+    # same inverse[i] * a_ij products a diagonal matmul would, without
+    # paying a sparse-sparse product to do it
+    scale = np.repeat(inverse, np.diff(adjacency.indptr))
+    spread_op = sparse.csr_matrix(
+        (adjacency.data * scale, adjacency.indices, adjacency.indptr),
+        shape=adjacency.shape,
+    ).T.tocsr()
+
+    def apply(t: FloatArray) -> FloatArray:
+        result: FloatArray = spread_op @ t
+        return result
+
+    return apply, dangling
+
+
+def _sharded_spread(
+    matrix: "ShardedPairMatrix",
+) -> tuple[Callable[[FloatArray], FloatArray], BoolArray]:
+    """The out-of-core spread operator: per-shard transposed CSRs on disk.
+
+    Each shard's operator block (``U x rows_in_shard``) is written to a
+    temporary :class:`repro.shard.ShardStore` once; :func:`apply` then
+    memory-maps the blocks per iteration and accumulates them into one
+    output vector with ``csr_matvec``, whose per-element running sum in
+    ascending source-row order makes the sweep bitwise equal to the
+    monolithic product (see the module notes).
+    """
+    from repro.shard.store import ShardStore
+
+    n = len(matrix.users)
+    ops_store = ShardStore.temporary(prefix="repro-eigentrust-")
+    dangling = np.ones(n, dtype=bool)
+    shard_meta: list[tuple[int, int, int]] = []
+    for s, lo, hi in matrix.layout:
+        block = matrix.shard_csr(s)
+        if block.nnz and float(block.data.min()) < 0.0:
+            raise ValidationError("EigenTrust requires non-negative edge weights")
+        local_sums = np.asarray(block.sum(axis=1)).ravel()
+        local_dangling = local_sums == 0.0
+        dangling[lo:hi] = local_dangling
+        inverse = np.where(
+            local_dangling, 0.0, 1.0 / np.where(local_dangling, 1.0, local_sums)
+        )
+        scale = np.repeat(inverse, np.diff(block.indptr))
+        op = sparse.csr_matrix(
+            (block.data * scale, block.indices, block.indptr), shape=block.shape
+        ).T.tocsr()
+        if op.nnz:
+            ops_store.write_array(f"op_{s:05d}.data.npy", op.data)
+            ops_store.write_array(f"op_{s:05d}.indices.npy", op.indices)
+            ops_store.write_array(f"op_{s:05d}.indptr.npy", op.indptr)
+            shard_meta.append((s, lo, hi))
+
+    def apply(t: FloatArray) -> FloatArray:
+        y = np.zeros(n)
+        for s, lo, hi in shard_meta:
+            data = ops_store.read_array(f"op_{s:05d}.data.npy")
+            indices = ops_store.read_array(f"op_{s:05d}.indices.npy")
+            indptr = ops_store.read_array(f"op_{s:05d}.indptr.npy")
+            # accumulates into y element-by-element: sweeping shards in
+            # ascending row order reproduces the monolithic matvec bitwise
+            _sparsetools.csr_matvec(n, hi - lo, indptr, indices, data, t[lo:hi], y)
+        obs.add("propagation.eigentrust.shard_sweeps", len(shard_meta))
+        return y
+
+    return apply, dangling
 
 
 def _initial_vector(

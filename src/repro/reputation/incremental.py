@@ -10,13 +10,12 @@ a handful of new ratings is already very close to the new one.
 :class:`repro.community.ChangeLog`: every mutator emits a structured
 delta, and :meth:`IncrementalExpertise.refresh` reads the deltas past its
 cursor to infer exactly which categories went stale.  There is no manual
-dirty-flagging step any more -- ``mark_dirty`` / ``mark_all_dirty`` remain
-as deprecated shims that record an explicit ``"touch"`` delta.
+dirty-flagging step: for an explicit recompute request use
+:meth:`repro.community.Community.touch`, which records a ``"touch"``
+delta every subscriber sees.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 
@@ -100,31 +99,6 @@ class IncrementalExpertise:
         """Categories re-solved by the most recent :meth:`refresh` (sorted)."""
         return self._last_resolved
 
-    def mark_dirty(self, category_id: str) -> None:
-        """Deprecated: flag one category for recomputation.
-
-        The change log makes manual flagging unnecessary; this shim records
-        an explicit ``"touch"`` delta via :meth:`Community.touch`, so every
-        subscriber (not just this tracker) sees the request.
-        """
-        warnings.warn(
-            "IncrementalExpertise.mark_dirty is deprecated; mutators log their "
-            "own deltas -- for an explicit recompute use Community.touch()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._community.touch(category_id)
-
-    def mark_all_dirty(self) -> None:
-        """Deprecated: flag every category (e.g. after a bulk import)."""
-        warnings.warn(
-            "IncrementalExpertise.mark_all_dirty is deprecated; mutators log "
-            "their own deltas -- for an explicit recompute use Community.touch()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._community.touch()
-
     # ------------------------------------------------------------------ solving
 
     def fit(self) -> ExpertiseResult:
@@ -149,7 +123,16 @@ class IncrementalExpertise:
 
     def _absorb(self) -> None:
         """Advance the cursor, growing axes and inferring dirty categories."""
-        deltas = self._community.change_log.since(self._cursor)
+        log = self._community.change_log
+        if self._cursor < log.floor:
+            # deltas this tracker never saw were compacted away: the only
+            # safe move is a full resynchronisation
+            self._users = LabelIndex(self._community.user_ids())
+            self._categories = LabelIndex(self._community.category_ids())
+            self._dirty = set(self._categories)
+            self._cursor = log.epoch
+            return
+        deltas = log.since(self._cursor)
         if not deltas:
             return
         self._cursor = self._community.change_log.epoch

@@ -1,0 +1,34 @@
+"""repro.shard -- sharded, out-of-core storage for the trust artifacts.
+
+The paper's ``T-hat`` web of trust is the one quadratically-growing
+artifact; this package keeps it on disk in row-block shards so derive,
+propagation and incremental patching all run with bounded peak memory:
+
+- :class:`ShardLayout` -- contiguous row-block boundaries;
+- :class:`ShardStore` -- a directory of memory-mappable ``.npy`` payloads
+  with a checksummed JSON manifest;
+- :class:`ShardedPairMatrix` -- the drop-in, bitwise-identical sharded
+  backend for :class:`repro.matrix.UserPairMatrix`;
+- :class:`ShardConfig` -- shard count / spill budget / store location;
+- :class:`ArtifactStore` -- save/load facade for whole pipeline outputs.
+
+The shard-aware compute paths live with their kernels:
+:meth:`repro.trust.TrustDeriver.derive_sharded`, the out-of-core sweep in
+:func:`repro.propagation.eigen_trust`, and the per-shard patching mode of
+:class:`repro.engine.Engine`.
+"""
+
+from repro.shard.artifacts import ArtifactStore, StoredArtifacts
+from repro.shard.config import ShardConfig
+from repro.shard.layout import ShardLayout
+from repro.shard.matrix import ShardedPairMatrix
+from repro.shard.store import ShardStore
+
+__all__ = [
+    "ArtifactStore",
+    "ShardConfig",
+    "ShardLayout",
+    "ShardStore",
+    "ShardedPairMatrix",
+    "StoredArtifacts",
+]

@@ -1,0 +1,81 @@
+"""Configuration for the sharded artifact backend.
+
+One frozen :class:`ShardConfig` travels from the CLI / bench flags down
+to whatever builds :class:`repro.shard.matrix.ShardedPairMatrix`
+instances -- the engine, the sharded deriver, the perf scenario -- so
+every layer agrees on the shard count, spill budget and store location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ValidationError
+from repro.matrix.labels import LabelIndex
+from repro.shard.layout import ShardLayout
+from repro.shard.store import ShardStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.matrix import ShardedPairMatrix
+
+__all__ = ["ShardConfig"]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How to shard the pair matrix and where the shards live.
+
+    Parameters
+    ----------
+    num_shards:
+        Row blocks to split the ``U x U`` matrix into.
+    spill_bytes:
+        Per-shard heap budget in bytes; a shard whose buffered entries
+        exceed it is written to the store immediately.  ``None`` keeps
+        shards in memory until an explicit flush.
+    root:
+        Store directory.  ``None`` uses a fresh temporary directory that
+        is removed when the store is garbage-collected.
+    """
+
+    num_shards: int = 4
+    spill_bytes: int | None = None
+    root: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValidationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.spill_bytes is not None and self.spill_bytes <= 0:
+            raise ValidationError(
+                f"spill_bytes must be positive, got {self.spill_bytes}"
+            )
+
+    def make_store(self, subdir: str | None = None) -> ShardStore:
+        """Open (or create) the configured store directory."""
+        if self.root is None:
+            return ShardStore.temporary()
+        root = Path(self.root)
+        if subdir is not None:
+            root = root / subdir
+        return ShardStore(root)
+
+    def layout_for(self, n_rows: int) -> ShardLayout:
+        """The even row-block layout this config implies for ``n_rows``."""
+        return ShardLayout.even(n_rows, self.num_shards)
+
+    def matrix_for(
+        self, users: LabelIndex, *, store: ShardStore | None = None
+    ) -> "ShardedPairMatrix":
+        """An empty sharded matrix over ``users`` per this config."""
+        from repro.shard.matrix import ShardedPairMatrix
+
+        return ShardedPairMatrix(
+            users,
+            self.layout_for(len(users)),
+            store=store if store is not None else self.make_store(),
+            spill_bytes=self.spill_bytes,
+        )

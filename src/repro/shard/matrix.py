@@ -1,0 +1,557 @@
+"""The row-block--sharded, out-of-core user-pair matrix.
+
+:class:`ShardedPairMatrix` is the storage backend that lifts the
+``U x U`` web-of-trust artifact out of memory: the consolidated entry
+arrays of :class:`repro.matrix.UserPairMatrix` are split into contiguous
+row blocks (:class:`repro.shard.layout.ShardLayout`), each block living
+either in memory or as a pair of memory-mapped ``.npy`` files inside a
+:class:`repro.shard.store.ShardStore`.  Writers (:meth:`set_block`,
+:meth:`set_shard_entries`) spill a shard to disk as soon as its entries
+exceed a configurable byte budget, so peak heap usage during a build is
+one shard, not the whole matrix.
+
+The read contract mirrors ``UserPairMatrix`` where consumers need it --
+:meth:`entries_arrays`, :meth:`support_keys`, :meth:`values`,
+:meth:`get`/:meth:`contains`, ``==`` against either matrix type -- plus
+the shard-native views the out-of-core kernels consume:
+:meth:`shard_entries` (zero-copy, possibly memory-mapped) and
+:meth:`shard_csr` (a ``rows_in_shard x U`` CSR block).  Because shards
+are row blocks, concatenating the shards in order reproduces the
+row-major consolidated arrays exactly, which is what makes the sharded
+backend a drop-in, bitwise-identical replacement rather than a fork of
+the math.
+"""
+
+# repro: hot-path
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+from scipy import sparse
+
+from repro import obs
+from repro.common.arrays import FloatArray, IntArray
+from repro.common.errors import ValidationError
+from repro.matrix.labels import LabelIndex
+from repro.matrix.pair import UserPairMatrix
+from repro.shard.layout import ShardLayout
+from repro.shard.store import FORMAT, USERS_NAME, ShardStore
+
+__all__ = ["ShardedPairMatrix", "ENTRY_BYTES"]
+
+#: Heap bytes per stored entry: one int64 key plus one float64 value.
+ENTRY_BYTES = 16
+
+_EMPTY_KEYS = np.empty(0, dtype=np.int64)
+_EMPTY_VALS = np.empty(0, dtype=np.float64)
+
+
+def _shard_files(shard: int) -> tuple[str, str]:
+    return f"shard_{shard:05d}.keys.npy", f"shard_{shard:05d}.vals.npy"
+
+
+class ShardedPairMatrix:
+    """A sparse ``U x U`` pair matrix stored as row-block shards."""
+
+    def __init__(
+        self,
+        users: LabelIndex | Iterable[str],
+        layout: ShardLayout | None = None,
+        *,
+        num_shards: int = 4,
+        store: ShardStore | None = None,
+        spill_bytes: int | None = None,
+    ) -> None:
+        self.users = users if isinstance(users, LabelIndex) else LabelIndex(users)
+        self._n = len(self.users)
+        self.layout = layout or ShardLayout.even(self._n, num_shards)
+        if self.layout.n_rows != self._n:
+            raise ValidationError(
+                f"layout covers {self.layout.n_rows} rows but the user axis "
+                f"has {self._n}"
+            )
+        if spill_bytes is not None and spill_bytes <= 0:
+            raise ValidationError(f"spill_bytes must be positive, got {spill_bytes}")
+        if spill_bytes is not None and store is None:
+            store = ShardStore.temporary()
+        self._store = store
+        self._spill_bytes = spill_bytes
+        shards = self.layout.num_shards
+        # per-shard consolidated state: None means "offloaded to disk,
+        # reload lazily"; on first touch a memory-mapped view is cached
+        self._keys: list[Any] = [_EMPTY_KEYS] * shards
+        self._vals: list[Any] = [_EMPTY_VALS] * shards
+        self._on_disk = [False] * shards
+        self._dirty = [False] * shards
+        self._pending: list[list[tuple[IntArray, FloatArray]]] = [
+            [] for _ in range(shards)
+        ]
+        self._pending_entries = [0] * shards
+        self._checksums: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def num_shards(self) -> int:
+        return self.layout.num_shards
+
+    @property
+    def store(self) -> ShardStore | None:
+        return self._store
+
+    def num_entries(self) -> int:
+        """Stored pairs across all shards (including explicit zeros)."""
+        return sum(
+            int(self._shard_arrays(s)[0].shape[0]) for s in range(self.num_shards)
+        )
+
+    def shard_nnz(self, shard: int) -> int:
+        return int(self._shard_arrays(shard)[0].shape[0])
+
+    # ------------------------------------------------------------------ writes
+
+    def set_block(
+        self,
+        rows: IntArray | Iterable[int],
+        cols: IntArray | Iterable[int],
+        values: FloatArray | Iterable[float] | float,
+    ) -> None:
+        """Bulk-store ``values`` at positions ``(rows, cols)``.
+
+        Same contract as :meth:`repro.matrix.UserPairMatrix.set_block`:
+        later writes win over earlier ones.  Entries are routed to their
+        row shard; a shard whose buffered entries exceed the byte budget
+        spills to its store immediately.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.ndim != 1 or cols.ndim != 1 or rows.shape != cols.shape:
+            raise ValidationError(
+                f"rows and cols must be equal-length 1-D arrays, got shapes "
+                f"{rows.shape} and {cols.shape}"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 0:
+            values = np.full(rows.shape, float(values))
+        elif values.shape != rows.shape:
+            raise ValidationError(
+                f"values shape {values.shape} does not match {rows.size} pairs"
+            )
+        else:
+            values = values.copy()
+        if values.size and not np.isfinite(values).all():
+            raise ValidationError("pair values must be finite")
+        n = self._n
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n or cols.min() < 0 or cols.max() >= n:
+                raise ValidationError(
+                    f"positions must lie in [0, {n}); got rows in "
+                    f"[{rows.min()}, {rows.max()}], cols in [{cols.min()}, {cols.max()}]"
+                )
+        if not rows.size:
+            return
+        keys = rows * n + cols
+        shard_idx = self.layout.shard_of_rows(rows)
+        for s in np.unique(shard_idx).tolist():
+            mask = shard_idx == s
+            self._pending[s].append((keys[mask], values[mask]))
+            self._pending_entries[s] += int(np.count_nonzero(mask))
+            self._dirty[s] = True
+            self._maybe_spill(s)
+
+    def set(self, source_id: str, target_id: str, value: float) -> None:
+        """Store one pair (buffered like a one-entry :meth:`set_block`)."""
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        self.set_block(
+            np.asarray([i], dtype=np.int64),
+            np.asarray([j], dtype=np.int64),
+            np.asarray([float(value)], dtype=np.float64),
+        )
+
+    def set_shard_entries(self, shard: int, keys: IntArray, vals: FloatArray) -> None:
+        """Replace one shard's content with consolidated entries in O(nnz).
+
+        The fast-path writer for streaming builders
+        (:meth:`repro.trust.TrustDeriver.derive_sharded`): ``keys`` must
+        be strictly increasing flat keys inside the shard's row range.
+        Pending buffered writes for the shard are discarded.
+        """
+        lo_key, hi_key = self.layout.key_range(shard, self._n)
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        vals = np.ascontiguousarray(vals, dtype=np.float64)
+        if keys.ndim != 1 or vals.ndim != 1 or keys.shape != vals.shape:
+            raise ValidationError(
+                f"keys and values must be equal-length 1-D arrays, got shapes "
+                f"{keys.shape} and {vals.shape}"
+            )
+        if keys.size:
+            if keys[0] < lo_key or keys[-1] >= hi_key:
+                raise ValidationError(
+                    f"shard {shard} keys must lie in [{lo_key}, {hi_key}); got "
+                    f"[{keys[0]}, {keys[-1]}]"
+                )
+            if keys.size > 1 and not bool(np.all(keys[1:] > keys[:-1])):
+                raise ValidationError(
+                    "keys must be strictly increasing (sorted, unique)"
+                )
+            if not np.isfinite(vals).all():
+                raise ValidationError("pair values must be finite")
+        keys.setflags(write=False)
+        vals.setflags(write=False)
+        self._keys[shard] = keys
+        self._vals[shard] = vals
+        self._pending[shard] = []
+        self._pending_entries[shard] = 0
+        self._dirty[shard] = True
+        self._maybe_spill(shard)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        users: LabelIndex | Iterable[str],
+        rows: IntArray | Iterable[int],
+        cols: IntArray | Iterable[int],
+        values: FloatArray | Iterable[float] | float,
+        *,
+        layout: ShardLayout | None = None,
+        num_shards: int = 4,
+        store: ShardStore | None = None,
+        spill_bytes: int | None = None,
+    ) -> "ShardedPairMatrix":
+        """Build from position arrays in one bulk write."""
+        out = cls(
+            users,
+            layout,
+            num_shards=num_shards,
+            store=store,
+            spill_bytes=spill_bytes,
+        )
+        out.set_block(rows, cols, values)
+        return out
+
+    # ---------------------------------------------------------------- patching
+
+    def patch_with(
+        self,
+        region: UserPairMatrix,
+        *,
+        rows: IntArray,
+        cols: IntArray,
+    ) -> tuple[int, int]:
+        """Merge a recomputed ``region`` over this matrix, shard by shard.
+
+        ``region`` holds every stored entry of ``(rows x all) | (all x
+        cols)`` on the **same** user axis (sharded patching does not grow
+        axes; axis growth re-derives from scratch).  Only the shards the
+        region touches are rewritten -- each via the O(nnz) masked
+        scatter of :meth:`repro.matrix.UserPairMatrix.patched` -- and
+        untouched shards keep their (possibly on-disk) entries without
+        any IO.  Returns ``(kept_entries, shards_patched)``.
+        """
+        if region.users != self.users:
+            raise ValidationError("region must be indexed by this matrix's user axis")
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        cols = np.unique(np.asarray(cols, dtype=np.int64))
+        n = self._n
+        for name, positions in (("rows", rows), ("cols", cols)):
+            if positions.size and (positions[0] < 0 or positions[-1] >= n):
+                raise ValidationError(f"{name} positions must lie in [0, {n})")
+        region_keys = region.support_keys()
+        region_vals = region.values()
+        if cols.size:
+            # a changed column crosses every row block
+            touched = np.arange(self.num_shards, dtype=np.int64)
+        else:
+            touched = self.layout.shards_for_rows(rows)
+        touched_set = set(touched.tolist())
+        kept_total = 0
+        with obs.span(
+            "shard.patch",
+            shards=len(touched_set),
+            region_entries=int(region_keys.size),
+        ):
+            for s in range(self.num_shards):
+                if s not in touched_set:
+                    kept_total += self.shard_nnz(s)
+                    continue
+                keys, vals = self._shard_arrays(s)
+                shard_matrix = UserPairMatrix.from_flat_sorted(
+                    self.users, np.asarray(keys), np.asarray(vals)
+                )
+                lo_key, hi_key = self.layout.key_range(s, n)
+                r_lo, r_hi = np.searchsorted(region_keys, [lo_key, hi_key])
+                shard_region = UserPairMatrix.from_flat_sorted(
+                    self.users, region_keys[r_lo:r_hi], region_vals[r_lo:r_hi]
+                )
+                patched, kept = shard_matrix.patched(
+                    self.users, shard_region, rows=rows, cols=cols
+                )
+                kept_total += kept
+                self.set_shard_entries(s, patched.support_keys(), patched.values())
+            obs.add("shard.patched_shards", len(touched_set))
+        return kept_total, len(touched_set)
+
+    # ------------------------------------------------------------------- reads
+
+    def shard_entries(self, shard: int) -> tuple[IntArray, FloatArray]:
+        """One shard's consolidated ``(keys, values)`` arrays, read-only.
+
+        The returned arrays are shared views -- memory-mapped when the
+        shard lives on disk -- and are invalidated by the next write to
+        the shard; copy before holding long-term.
+        """
+        return self._shard_arrays(shard)
+
+    def shard_csr(self, shard: int) -> sparse.csr_matrix:
+        """One shard as a ``rows_in_shard x U`` CSR block (local rows)."""
+        keys, vals = self._shard_arrays(shard)
+        lo, hi = self.layout.row_range(shard)
+        n = self._n
+        local_rows = np.asarray(keys) // n - lo
+        indices = np.asarray(keys) % n
+        indptr = np.zeros(hi - lo + 1, dtype=np.int64)
+        if local_rows.size:
+            np.cumsum(np.bincount(local_rows, minlength=hi - lo), out=indptr[1:])
+        matrix = sparse.csr_matrix(
+            (np.asarray(vals, dtype=np.float64), indices, indptr),
+            shape=(hi - lo, n),
+        )
+        matrix.has_sorted_indices = True
+        matrix.has_canonical_format = True
+        return matrix
+
+    def entries_arrays(self) -> tuple[IntArray, IntArray, FloatArray]:
+        """All stored entries as ``(rows, cols, values)`` position arrays.
+
+        Row-major sorted, identical to the in-memory
+        :meth:`repro.matrix.UserPairMatrix.entries_arrays`.  This
+        materialises every shard -- it is the compatibility reader for
+        consumers that genuinely need the whole matrix, not a hot path.
+        """
+        keys = self.support_keys()
+        return keys // self._n, keys % self._n, self.values()
+
+    def support_keys(self) -> IntArray:
+        """All stored pairs as sorted flat keys ``i * U + j`` (materialised)."""
+        parts = [
+            np.asarray(self._shard_arrays(s)[0]) for s in range(self.num_shards)
+        ]
+        return (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+
+    def values(self) -> FloatArray:
+        """All stored values in row-major order (materialised copy)."""
+        parts = [
+            np.asarray(self._shard_arrays(s)[1], dtype=np.float64)
+            for s in range(self.num_shards)
+        ]
+        return (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        )
+
+    def get(self, source_id: str, target_id: str, default: float = 0.0) -> float:
+        """Stored value for the pair, or ``default`` when absent."""
+        i = self.users.position(source_id)
+        j = self.users.position(target_id)
+        key = i * self._n + j
+        shard = int(self.layout.shard_of_rows(np.asarray([i], dtype=np.int64))[0])
+        keys, vals = self._shard_arrays(shard)
+        pos = int(np.searchsorted(np.asarray(keys), key))
+        if pos < keys.shape[0] and int(keys[pos]) == key:
+            return float(vals[pos])
+        return default
+
+    def contains(self, source_id: str, target_id: str) -> bool:
+        """Whether the pair is explicitly stored (even with value 0)."""
+        sentinel = float("nan")
+        value = self.get(source_id, target_id, default=sentinel)
+        return not np.isnan(value)
+
+    def density(self) -> float:
+        """Stored pairs divided by the ``U * (U - 1)`` ordered pairs."""
+        possible = self._n * (self._n - 1)
+        if possible == 0:
+            return 0.0
+        return self.num_entries() / possible
+
+    def to_pair_matrix(self) -> UserPairMatrix:
+        """Materialise the whole matrix as an in-memory ``UserPairMatrix``."""
+        return UserPairMatrix.from_flat_sorted(
+            self.users, self.support_keys(), self.values()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ShardedPairMatrix):
+            if self.users != other.users:
+                return False
+            return np.array_equal(
+                self.support_keys(), other.support_keys()
+            ) and np.array_equal(self.values(), other.values())
+        if isinstance(other, UserPairMatrix):
+            if self.users != other.users:
+                return False
+            return np.array_equal(
+                self.support_keys(), other.support_keys()
+            ) and np.array_equal(self.values(), other.values())
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("ShardedPairMatrix is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedPairMatrix(users={self._n}, shards={self.num_shards}, "
+            f"store={None if self._store is None else str(self._store.root)!r})"
+        )
+
+    # ------------------------------------------------------------- persistence
+
+    def flush(self, *, epoch: int = 0) -> dict[str, Any]:
+        """Write every dirty shard plus the manifest; returns the manifest.
+
+        Requires a store.  After a flush the matrix can be reopened with
+        :meth:`open`; in-memory shard state is dropped so subsequent
+        reads are memory-mapped.
+        """
+        store = self._require_store()
+        with obs.span("shard.store.flush", shards=self.num_shards):
+            shard_docs = []
+            checksums: dict[str, str] = {}
+            for s in range(self.num_shards):
+                keys_name, vals_name = _shard_files(s)
+                if self._dirty[s] or not self._on_disk[s]:
+                    self._flush_shard(s)
+                checksums[keys_name] = self._checksums[keys_name]
+                checksums[vals_name] = self._checksums[vals_name]
+                lo, hi = self.layout.row_range(s)
+                shard_docs.append(
+                    {
+                        "index": s,
+                        "rows": [lo, hi],
+                        "entries": self.shard_nnz(s),
+                        "files": {"keys": keys_name, "vals": vals_name},
+                    }
+                )
+            store.write_labels(self.users.labels)
+            checksums[USERS_NAME] = store.checksum(USERS_NAME)
+            manifest: dict[str, Any] = {
+                "format": FORMAT,
+                "n_users": self._n,
+                "epoch": int(epoch),
+                "bounds": list(self.layout.bounds),
+                "dtype": {"keys": "int64", "vals": "float64"},
+                "entries": self.num_entries(),
+                "shards": shard_docs,
+                "checksums": checksums,
+            }
+            store.write_manifest(manifest)
+        return manifest
+
+    @classmethod
+    def open(cls, store: ShardStore) -> "ShardedPairMatrix":
+        """Reopen a flushed matrix from its store (reads stay mmapped)."""
+        with obs.span("shard.store.load"):
+            manifest = store.read_manifest()
+            labels = store.read_labels()
+            if len(labels) != manifest["n_users"]:
+                raise ValidationError(
+                    f"user axis file has {len(labels)} labels but the manifest "
+                    f"says {manifest['n_users']}"
+                )
+            layout = ShardLayout(
+                n_rows=int(manifest["n_users"]),
+                bounds=tuple(int(b) for b in manifest["bounds"]),
+            )
+            out = cls(LabelIndex(labels), layout, store=store)
+            for s in range(out.num_shards):
+                out._keys[s] = None
+                out._vals[s] = None
+                out._on_disk[s] = True
+            out._checksums = dict(manifest.get("checksums", {}))
+        return out
+
+    # -------------------------------------------------------------- internals
+
+    def _require_store(self) -> ShardStore:
+        if self._store is None:
+            raise ValidationError(
+                "this ShardedPairMatrix has no store; pass store= (or "
+                "spill_bytes=) at construction to enable persistence"
+            )
+        return self._store
+
+    def _estimated_bytes(self, shard: int) -> int:
+        consolidated = 0
+        if self._keys[shard] is not None and not self._on_disk[shard]:
+            consolidated = int(self._keys[shard].shape[0])
+        return ENTRY_BYTES * (consolidated + self._pending_entries[shard])
+
+    def _maybe_spill(self, shard: int) -> None:
+        if self._spill_bytes is None or self._store is None:
+            return
+        if self._estimated_bytes(shard) > self._spill_bytes:
+            obs.add("shard.spill")
+            self._flush_shard(shard)
+
+    def _flush_shard(self, shard: int) -> None:
+        store = self._require_store()
+        keys, vals = self._consolidate(shard)
+        keys_name, vals_name = _shard_files(shard)
+        store.write_array(keys_name, np.asarray(keys))
+        store.write_array(vals_name, np.asarray(vals, dtype=np.float64))
+        self._checksums[keys_name] = store.checksum(keys_name)
+        self._checksums[vals_name] = store.checksum(vals_name)
+        self._on_disk[shard] = True
+        self._dirty[shard] = False
+        # drop the heap copy: the next read memory-maps the files
+        self._keys[shard] = None
+        self._vals[shard] = None
+
+    def _shard_arrays(self, shard: int) -> tuple[IntArray, FloatArray]:
+        self.layout._require_shard(shard)
+        if self._pending[shard]:
+            return self._consolidate(shard)
+        if self._keys[shard] is None:
+            store = self._require_store()
+            keys_name, vals_name = _shard_files(shard)
+            obs.add("shard.miss")
+            self._keys[shard] = store.read_array(keys_name)
+            self._vals[shard] = store.read_array(vals_name)
+        else:
+            obs.add("shard.hit")
+        return self._keys[shard], self._vals[shard]
+
+    def _consolidate(self, shard: int) -> tuple[IntArray, FloatArray]:
+        """Merge pending blocks into the shard (last write per key wins)."""
+        if not self._pending[shard]:
+            if self._keys[shard] is None:
+                return self._shard_arrays(shard)
+            return self._keys[shard], self._vals[shard]
+        if self._keys[shard] is None:
+            # shard was spilled with writes still arriving: materialise
+            # the on-disk entries to merge against
+            store = self._require_store()
+            keys_name, vals_name = _shard_files(shard)
+            obs.add("shard.miss")
+            base_keys = np.asarray(store.read_array(keys_name))
+            base_vals = np.asarray(store.read_array(vals_name))
+        else:
+            base_keys = np.asarray(self._keys[shard])
+            base_vals = np.asarray(self._vals[shard])
+        keys = np.concatenate([base_keys] + [k for k, _ in self._pending[shard]])
+        vals = np.concatenate([base_vals] + [v for _, v in self._pending[shard]])
+        self._pending[shard] = []
+        self._pending_entries[shard] = 0
+        # keep the LAST write per key: unique over the reversed array picks
+        # the first occurrence there, i.e. the most recent write
+        uniq, idx = np.unique(keys[::-1], return_index=True)
+        merged_vals = vals[::-1][idx]
+        uniq.setflags(write=False)
+        merged_vals.setflags(write=False)
+        self._keys[shard] = uniq
+        self._vals[shard] = merged_vals
+        return uniq, merged_vals

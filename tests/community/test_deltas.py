@@ -132,3 +132,61 @@ class TestMutatorsEmitDeltas:
         assert b.change_log.epoch == 0
         with pytest.raises(ValidationError):
             b.change_log.since(1)
+
+
+class TestCompaction:
+    def filled_log(self, n=5):
+        log = ChangeLog()
+        for i in range(n):
+            log.record("user", user_id=f"u{i}")
+        return log
+
+    def test_compact_drops_prefix_and_advances_floor(self):
+        log = self.filled_log(5)
+        assert log.compact(3) == 3
+        assert log.floor == 3
+        assert len(log) == 2
+        assert log.epoch == 5  # epochs are never renamed
+
+    def test_retained_deltas_keep_their_epochs(self):
+        log = self.filled_log(5)
+        log.compact(3)
+        assert [d.epoch for d in log.since(3)] == [4, 5]
+
+    def test_compact_defaults_to_everything(self):
+        log = self.filled_log(4)
+        assert log.compact() == 4
+        assert len(log) == 0
+        assert log.since(4) == ()
+
+    def test_since_rejects_cursor_below_floor(self):
+        log = self.filled_log(5)
+        log.compact(3)
+        with pytest.raises(ValidationError, match=r"\[3, 5\]"):
+            log.since(2)
+
+    def test_compact_is_idempotent(self):
+        log = self.filled_log(5)
+        log.compact(3)
+        assert log.compact(3) == 0
+        assert log.compact(2) == 0  # below the floor is a no-op, not an error
+        assert log.floor == 3
+
+    def test_compact_rejects_out_of_range_point(self):
+        log = self.filled_log(3)
+        with pytest.raises(ValidationError):
+            log.compact(7)
+        with pytest.raises(ValidationError):
+            log.compact(-1)
+
+    def test_compact_empty_log_is_noop(self):
+        log = ChangeLog()
+        assert log.compact() == 0
+        assert log.floor == 0
+
+    def test_recording_resumes_after_compaction(self):
+        log = self.filled_log(3)
+        log.compact()
+        delta = log.record("user", user_id="late")
+        assert delta.epoch == 4
+        assert log.since(3) == (delta,)

@@ -182,3 +182,40 @@ class TestReplayHelpers:
             split_rating_stream(two_category_community, 999)
         with pytest.raises(ValidationError):
             split_rating_stream(two_category_community, 1, category_id="ghost")
+
+
+class TestLogCompaction:
+    def test_update_compacts_consumed_deltas(self, generated_community):
+        """The retained log stays bounded over a long rating stream."""
+        base, stream = split_rating_stream(generated_community, 12)
+        engine = Engine(base)
+        engine.update()
+        log = base.change_log
+        assert len(log) == 0  # cold build consumed and compacted everything
+        for rating in stream:
+            base.add_rating(rating)
+            engine.update()
+            assert len(log) == 0
+        assert log.epoch >= len(stream)  # epochs keep advancing
+        assert log.floor == log.epoch
+
+    def test_compaction_can_be_disabled(self, generated_community):
+        base, stream = split_rating_stream(generated_community, 5)
+        engine = Engine(base, compact_log=False)
+        engine.update()
+        retained = len(base.change_log)
+        assert retained > 0
+        for rating in stream:
+            base.add_rating(rating)
+            engine.update()
+        assert len(base.change_log) == retained + len(stream)
+        assert base.change_log.floor == 0
+
+    def test_compacted_engine_stays_bitwise_equal(self, generated_community):
+        base, stream = split_rating_stream(generated_community, 5)
+        engine = Engine(base)
+        engine.update()
+        for rating in stream:
+            base.add_rating(rating)
+            engine.update()
+        assert_matches_cold(engine, base)

@@ -327,3 +327,73 @@ class TestPatched:
         region = UserPairMatrix(users)
         with pytest.raises(ValidationError, match="rows positions"):
             old.patched(users, region, rows=np.array([9]), cols=np.array([], dtype=np.int64))
+
+
+class TestPatchedEdgeCases:
+    def _dense(self, m, n):
+        out = np.zeros((n, n))
+        for s, t, v in m.entries():
+            out[m.users.position(s), m.users.position(t)] = v
+        return out
+
+    def test_empty_patch_is_identity(self, users):
+        old = UserPairMatrix.from_arrays(users, [0, 2], [1, 3], [0.5, 0.25])
+        empty = np.empty(0, dtype=np.int64)
+        patched, kept = old.patched(
+            users, UserPairMatrix(users), rows=empty, cols=empty
+        )
+        assert patched == old
+        assert kept == old.num_entries()
+
+    def test_empty_region_with_changed_rows_clears_them(self, users):
+        """A region with no entries means the changed rows became zero."""
+        old = UserPairMatrix.from_arrays(users, [0, 2], [1, 3], [0.5, 0.25])
+        patched, kept = old.patched(
+            users,
+            UserPairMatrix(users),
+            rows=np.array([0]),
+            cols=np.empty(0, dtype=np.int64),
+        )
+        assert not patched.contains("u0", "u1")
+        assert patched.get("u2", "u3") == 0.25
+        assert kept == 1
+
+    def test_whole_matrix_region_replaces_everything(self, users):
+        n = len(users)
+        rng = np.random.default_rng(8)
+        old_dense = (rng.random((n, n)) * (rng.random((n, n)) < 0.6)).round(3)
+        new_dense = (rng.random((n, n)) * (rng.random((n, n)) < 0.6)).round(3)
+        idx = np.nonzero(old_dense)
+        old = UserPairMatrix.from_arrays(users, *idx, old_dense[idx])
+        all_positions = np.arange(n, dtype=np.int64)
+        region = _region_of(new_dense, users, set(range(n)), set(range(n)))
+        patched, kept = old.patched(
+            users, region, rows=all_positions, cols=all_positions
+        )
+        np.testing.assert_array_equal(self._dense(patched, n), new_dense)
+        assert kept == 0  # nothing survives a whole-matrix patch
+
+    def test_region_value_wins_over_old_at_same_key(self, users):
+        """A key present in both old and region takes the region's value."""
+        old = UserPairMatrix.from_arrays(users, [1, 2], [2, 3], [0.5, 0.25])
+        region = UserPairMatrix(users)
+        region.set("u1", "u2", 0.9)
+        patched, kept = old.patched(
+            users, region, rows=np.array([1]), cols=np.empty(0, dtype=np.int64)
+        )
+        assert patched.get("u1", "u2") == 0.9
+        assert patched.get("u2", "u3") == 0.25
+        assert kept == 1
+
+    def test_overlapping_scatter_keys_within_region_last_write_wins(self, users):
+        """Duplicate pending writes inside the region consolidate before
+        the scatter -- the final value is the region's latest write."""
+        old = UserPairMatrix.from_arrays(users, [0], [2], [0.1])
+        region = UserPairMatrix(users)
+        region.set("u1", "u2", 0.3)
+        region.set("u1", "u2", 0.7)  # overwrites the pending write above
+        patched, _ = old.patched(
+            users, region, rows=np.array([1]), cols=np.empty(0, dtype=np.int64)
+        )
+        assert patched.get("u1", "u2") == 0.7
+        assert patched.num_entries() == 2

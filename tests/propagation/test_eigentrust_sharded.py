@@ -1,0 +1,99 @@
+"""Tests for out-of-core EigenTrust over a ``ShardedPairMatrix``."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import UserPairMatrix
+from repro.matrix.labels import LabelIndex
+from repro.propagation import eigen_trust
+from repro.shard.matrix import ENTRY_BYTES, ShardedPairMatrix
+
+
+def matching_webs(num_users=24, seed=2, density=0.3, num_shards=3, spill_bytes=None):
+    """A matching (UserPairMatrix, ShardedPairMatrix) trust web pair."""
+    users = LabelIndex([f"u{i}" for i in range(num_users)])
+    rng = np.random.default_rng(seed)
+    dense = rng.random((num_users, num_users)) * (
+        rng.random((num_users, num_users)) < density
+    )
+    np.fill_diagonal(dense, 0.0)
+    rows, cols = np.nonzero(dense)
+    flat = UserPairMatrix.from_arrays(users, rows, cols, dense[rows, cols])
+    sharded = ShardedPairMatrix.from_arrays(
+        users,
+        rows,
+        cols,
+        dense[rows, cols],
+        num_shards=num_shards,
+        spill_bytes=spill_bytes,
+    )
+    return flat, sharded
+
+
+def assert_scores_identical(reference, streamed):
+    np.testing.assert_array_equal(
+        streamed.scores_array(), reference.scores_array()
+    )
+    assert streamed.iterations == reference.iterations
+    assert streamed.converged == reference.converged
+
+
+class TestParity:
+    @pytest.mark.parametrize("num_shards", [1, 3, 5])
+    def test_bitwise_equal_to_dense(self, num_shards):
+        flat, sharded = matching_webs(num_shards=num_shards)
+        assert_scores_identical(eigen_trust(flat), eigen_trust(sharded))
+
+    def test_spilled_store_path_identical(self):
+        flat, sharded = matching_webs(spill_bytes=ENTRY_BYTES)
+        assert sharded.store is not None
+        assert_scores_identical(eigen_trust(flat), eigen_trust(sharded))
+
+    def test_dangling_users_identical(self):
+        """Users with no outgoing edges exercise the dangling-mass term."""
+        users = LabelIndex(["a", "b", "c", "d"])
+        flat = UserPairMatrix(users)
+        flat.set("a", "b", 1.0)
+        flat.set("b", "c", 0.5)  # c and d dangle
+        sharded = ShardedPairMatrix.from_arrays(
+            users, *flat.entries_arrays(), num_shards=2
+        )
+        reference = eigen_trust(flat)
+        assert_scores_identical(reference, eigen_trust(sharded))
+        assert reference.converged
+
+    def test_empty_shards_identical(self):
+        """Shards with no entries at all are skipped, not mis-summed."""
+        users = LabelIndex([f"u{i}" for i in range(9)])
+        flat = UserPairMatrix(users)
+        flat.set("u0", "u8", 1.0)
+        flat.set("u8", "u0", 1.0)  # middle shard is empty at 3 shards
+        sharded = ShardedPairMatrix.from_arrays(
+            users, *flat.entries_arrays(), num_shards=3
+        )
+        assert_scores_identical(eigen_trust(flat), eigen_trust(sharded))
+
+    def test_warm_start_and_pretrust_identical(self):
+        flat, sharded = matching_webs()
+        pretrust = {"u0": 0.5, "u3": 0.5}
+        initial = {"u1": 1.0}
+        assert_scores_identical(
+            eigen_trust(flat, pretrust=pretrust, initial=initial),
+            eigen_trust(sharded, pretrust=pretrust, initial=initial),
+        )
+
+
+class TestValidation:
+    def test_negative_weights_rejected(self):
+        users = LabelIndex(["a", "b", "c", "d"])
+        sharded = ShardedPairMatrix(users, num_shards=2)
+        sharded.set("c", "d", -0.5)  # negative entry in the second shard
+        with pytest.raises(ValidationError, match="non-negative"):
+            eigen_trust(sharded)
+
+    def test_empty_matrix_scores_all_users(self):
+        users = LabelIndex(["a", "b"])
+        scores = eigen_trust(ShardedPairMatrix(users, num_shards=2))
+        assert scores.scores_array().shape == (2,)
+        assert float(scores.scores_array().sum()) == pytest.approx(1.0)

@@ -95,27 +95,39 @@ class TestIncrementalExpertise:
         assert result.expertise.shape[0] == n_before + 1
         assert results_equal(result, ExpertiseEstimator().fit(two_category_community))
 
-    def test_mark_dirty_is_deprecated_touch(self, two_category_community):
+    def test_touch_marks_one_category_dirty(self, two_category_community):
         tracker = IncrementalExpertise(two_category_community)
         tracker.fit()
-        with pytest.warns(DeprecationWarning, match="mark_dirty is deprecated"):
-            tracker.mark_dirty("movies")
+        two_category_community.touch("movies")
         assert tracker.dirty_categories == {"movies"}
 
-    def test_mark_dirty_unknown_category(self, two_category_community):
-        tracker = IncrementalExpertise(two_category_community)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValidationError):
-                tracker.mark_dirty("ghost")
+    def test_touch_unknown_category(self, two_category_community):
+        with pytest.raises(ValidationError):
+            two_category_community.touch("ghost")
 
     def test_last_iterations_before_solve(self, two_category_community):
         tracker = IncrementalExpertise(two_category_community)
         with pytest.raises(ValidationError):
             tracker.last_iterations("movies")
 
-    def test_mark_all_dirty_is_deprecated_touch(self, two_category_community):
+    def test_touch_all_marks_every_category_dirty(self, two_category_community):
         tracker = IncrementalExpertise(two_category_community)
         tracker.fit()
-        with pytest.warns(DeprecationWarning, match="mark_all_dirty is deprecated"):
-            tracker.mark_all_dirty()
+        two_category_community.touch()
         assert tracker.dirty_categories == {"movies", "books"}
+
+    def test_shims_are_gone(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        assert not hasattr(tracker, "mark_dirty")
+        assert not hasattr(tracker, "mark_all_dirty")
+
+    def test_resyncs_after_log_compaction(self, two_category_community):
+        tracker = IncrementalExpertise(two_category_community)
+        tracker.fit()
+        two_category_community.add_rating(ReviewRating("carol", "ra1", 0.6))
+        # the tracker never saw this delta before the log forgot it
+        two_category_community.change_log.compact()
+        assert tracker.dirty_categories == {"movies", "books"}
+        assert results_equal(
+            tracker.refresh(), ExpertiseEstimator().fit(two_category_community)
+        )

@@ -1,0 +1,278 @@
+"""Tests for the sharded out-of-core pair matrix."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import UserPairMatrix
+from repro.matrix.labels import LabelIndex
+from repro.shard import ShardLayout, ShardStore
+from repro.shard.matrix import ENTRY_BYTES, ShardedPairMatrix
+
+
+@pytest.fixture
+def users():
+    return LabelIndex([f"u{i}" for i in range(8)])
+
+
+def random_pair(users, seed=3, density=0.4):
+    """A matching (UserPairMatrix, ShardedPairMatrix) pair of random content."""
+    n = len(users)
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) * (rng.random((n, n)) < density)
+    rows, cols = np.nonzero(dense)
+    flat = UserPairMatrix.from_arrays(users, rows, cols, dense[rows, cols])
+    sharded = ShardedPairMatrix.from_arrays(
+        users, rows, cols, dense[rows, cols], num_shards=3
+    )
+    return flat, sharded
+
+
+class TestWrites:
+    def test_set_block_round_trip(self, users):
+        m = ShardedPairMatrix(users, num_shards=3)
+        m.set_block([0, 3, 7], [1, 2, 0], [0.5, 0.25, 0.75])
+        assert m.get("u0", "u1") == 0.5
+        assert m.get("u3", "u2") == 0.25
+        assert m.get("u7", "u0") == 0.75
+        assert m.num_entries() == 3
+
+    def test_point_set(self, users):
+        m = ShardedPairMatrix(users, num_shards=2)
+        m.set("u2", "u5", 0.125)
+        assert m.get("u2", "u5") == 0.125
+        assert m.contains("u2", "u5")
+        assert not m.contains("u5", "u2")
+
+    def test_later_writes_win(self, users):
+        m = ShardedPairMatrix(users, num_shards=2)
+        m.set_block([1, 1], [2, 2], [0.1, 0.9])
+        assert m.get("u1", "u2") == 0.9
+        m.set("u1", "u2", 0.3)
+        assert m.get("u1", "u2") == 0.3
+
+    def test_matches_user_pair_matrix_semantics(self, users):
+        flat, sharded = random_pair(users)
+        assert sharded == flat
+        np.testing.assert_array_equal(sharded.support_keys(), flat.support_keys())
+        np.testing.assert_array_equal(sharded.values(), flat.values())
+        for a, b in zip(sharded.entries_arrays(), flat.entries_arrays()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_set_block_validates_shapes(self, users):
+        m = ShardedPairMatrix(users, num_shards=2)
+        with pytest.raises(ValidationError, match="equal-length"):
+            m.set_block([0, 1], [1], [0.5])
+        with pytest.raises(ValidationError, match="values shape"):
+            m.set_block([0, 1], [1, 2], [0.5, 0.6, 0.7])
+
+    def test_set_block_validates_bounds_and_finiteness(self, users):
+        m = ShardedPairMatrix(users, num_shards=2)
+        with pytest.raises(ValidationError, match="positions"):
+            m.set_block([0], [99], [0.5])
+        with pytest.raises(ValidationError, match="finite"):
+            m.set_block([0], [1], [float("nan")])
+
+    def test_scalar_value_broadcast(self, users):
+        m = ShardedPairMatrix(users, num_shards=2)
+        m.set_block([0, 4], [1, 5], 0.5)
+        assert m.get("u0", "u1") == 0.5
+        assert m.get("u4", "u5") == 0.5
+
+    def test_layout_must_match_axis(self, users):
+        with pytest.raises(ValidationError, match="layout"):
+            ShardedPairMatrix(users, ShardLayout.even(5, 2))
+
+
+class TestSetShardEntries:
+    def test_replaces_shard_content(self, users):
+        n = len(users)
+        m = ShardedPairMatrix(users, ShardLayout(n_rows=n, bounds=(0, 4, 8)))
+        m.set("u1", "u1", 0.9)
+        keys = np.asarray([0 * n + 1, 2 * n + 3], dtype=np.int64)
+        m.set_shard_entries(0, keys, np.asarray([0.5, 0.25]))
+        assert m.get("u0", "u1") == 0.5
+        assert m.get("u2", "u3") == 0.25
+        assert not m.contains("u1", "u1")  # pending write discarded
+
+    def test_rejects_keys_outside_shard(self, users):
+        n = len(users)
+        m = ShardedPairMatrix(users, ShardLayout(n_rows=n, bounds=(0, 4, 8)))
+        with pytest.raises(ValidationError, match="keys must lie"):
+            m.set_shard_entries(0, np.asarray([5 * n], dtype=np.int64), np.asarray([0.5]))
+
+    def test_rejects_unsorted_keys(self, users):
+        n = len(users)
+        m = ShardedPairMatrix(users, ShardLayout(n_rows=n, bounds=(0, 4, 8)))
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            m.set_shard_entries(
+                0, np.asarray([5, 2], dtype=np.int64), np.asarray([0.5, 0.6])
+            )
+
+
+class TestShardViews:
+    def test_shard_csr_stacks_to_full_matrix(self, users):
+        flat, sharded = random_pair(users)
+        from scipy import sparse
+
+        stacked = sparse.vstack(
+            [sharded.shard_csr(s) for s in range(sharded.num_shards)]
+        ).toarray()
+        np.testing.assert_array_equal(stacked, flat.csr().toarray())
+
+    def test_shard_entries_cover_key_ranges(self, users):
+        _, sharded = random_pair(users)
+        n = len(users)
+        for s in range(sharded.num_shards):
+            keys, vals = sharded.shard_entries(s)
+            lo, hi = sharded.layout.key_range(s, n)
+            assert keys.shape == vals.shape
+            if keys.shape[0]:
+                assert lo <= int(keys[0]) and int(keys[-1]) < hi
+
+    def test_density_matches_flat(self, users):
+        flat, sharded = random_pair(users)
+        assert sharded.density() == flat.density()
+
+    def test_to_pair_matrix_round_trip(self, users):
+        flat, sharded = random_pair(users)
+        assert sharded.to_pair_matrix() == flat
+
+    def test_equality_is_symmetric_across_backends(self, users):
+        flat, sharded = random_pair(users)
+        assert sharded == flat
+        assert flat == sharded  # UserPairMatrix.__eq__ returns NotImplemented
+
+    def test_unhashable(self, users):
+        _, sharded = random_pair(users)
+        with pytest.raises(TypeError, match="unhashable"):
+            hash(sharded)
+
+
+class TestPersistence:
+    def test_flush_open_round_trip(self, users, tmp_path):
+        flat, _ = random_pair(users)
+        store = ShardStore(tmp_path / "m")
+        sharded = ShardedPairMatrix.from_arrays(
+            users, *flat.entries_arrays(), num_shards=3, store=store
+        )
+        manifest = sharded.flush(epoch=7)
+        assert manifest["epoch"] == 7
+        assert manifest["entries"] == flat.num_entries()
+        reopened = ShardedPairMatrix.open(store)
+        assert reopened == flat
+        assert reopened.users == users
+
+    def test_open_reads_are_memory_mapped(self, users, tmp_path):
+        flat, _ = random_pair(users)
+        store = ShardStore(tmp_path / "m")
+        ShardedPairMatrix.from_arrays(
+            users, *flat.entries_arrays(), num_shards=2, store=store
+        ).flush()
+        reopened = ShardedPairMatrix.open(store)
+        keys, _vals = reopened.shard_entries(0)
+        assert isinstance(keys, np.memmap)
+
+    def test_flush_without_store_rejected(self, users):
+        m = ShardedPairMatrix(users, num_shards=2)
+        with pytest.raises(ValidationError, match="no store"):
+            m.flush()
+
+    def test_flushed_store_verifies(self, users, tmp_path):
+        flat, _ = random_pair(users)
+        store = ShardStore(tmp_path / "m")
+        ShardedPairMatrix.from_arrays(
+            users, *flat.entries_arrays(), num_shards=2, store=store
+        ).flush()
+        assert store.verify() == []
+
+    def test_corruption_fails_verification(self, users, tmp_path):
+        flat, _ = random_pair(users)
+        store = ShardStore(tmp_path / "m")
+        ShardedPairMatrix.from_arrays(
+            users, *flat.entries_arrays(), num_shards=2, store=store
+        ).flush()
+        with open(store.path("shard_00000.vals.npy"), "r+b") as handle:
+            handle.seek(-1, 2)
+            handle.write(b"\x13")
+        assert store.verify() == ["shard_00000.vals.npy"]
+
+    def test_spill_keeps_result_identical(self, users):
+        flat, _ = random_pair(users)
+        spilled = ShardedPairMatrix.from_arrays(
+            users, *flat.entries_arrays(), num_shards=3, spill_bytes=ENTRY_BYTES
+        )
+        assert spilled == flat
+        assert spilled.store is not None  # auto temp store
+
+    def test_spill_budget_must_be_positive(self, users):
+        with pytest.raises(ValidationError, match="spill_bytes"):
+            ShardedPairMatrix(users, num_shards=2, spill_bytes=0)
+
+    def test_writes_after_spill_merge_with_disk(self, users):
+        m = ShardedPairMatrix(users, num_shards=2, spill_bytes=ENTRY_BYTES)
+        m.set_block([0, 1], [1, 2], [0.5, 0.25])  # spills shard 0
+        m.set("u0", "u1", 0.75)  # overwrite lands on the spilled shard
+        assert m.get("u0", "u1") == 0.75
+        assert m.get("u1", "u2") == 0.25
+
+
+class TestPatchWith:
+    def _dense(self, matrix, n):
+        out = np.zeros((n, n))
+        rows, cols, vals = matrix.entries_arrays()
+        out[rows, cols] = vals
+        return out
+
+    def test_patch_matches_user_pair_matrix(self, users):
+        n = len(users)
+        rng = np.random.default_rng(9)
+        old_dense = (rng.random((n, n)) * (rng.random((n, n)) < 0.5)).round(3)
+        np.fill_diagonal(old_dense, 0.0)
+        rows_idx, cols_idx = np.nonzero(old_dense)
+        flat = UserPairMatrix.from_arrays(
+            users, rows_idx, cols_idx, old_dense[rows_idx, cols_idx]
+        )
+        sharded = ShardedPairMatrix.from_arrays(
+            users, rows_idx, cols_idx, old_dense[rows_idx, cols_idx], num_shards=3
+        )
+        rows, cols = np.asarray([1, 6]), np.asarray([2])
+        region = UserPairMatrix(users)
+        region.set_block([1, 6, 0, 1], [3, 2, 2, 2], [0.9, 0.8, 0.7, 0.6])
+
+        expected, expected_kept = flat.patched(users, region, rows=rows, cols=cols)
+        kept, patched_shards = sharded.patch_with(region, rows=rows, cols=cols)
+        assert kept == expected_kept
+        assert patched_shards == sharded.num_shards  # cols touch every shard
+        assert sharded == expected
+
+    def test_rows_only_patch_touches_owning_shards_only(self, users):
+        n = len(users)
+        layout = ShardLayout(n_rows=n, bounds=(0, 4, 8))
+        sharded = ShardedPairMatrix.from_arrays(
+            users, [0, 5], [1, 6], [0.5, 0.25], layout=layout
+        )
+        region = UserPairMatrix(users)
+        region.set("u1", "u3", 0.9)
+        kept, patched_shards = sharded.patch_with(
+            region, rows=np.asarray([1]), cols=np.empty(0, dtype=np.int64)
+        )
+        assert patched_shards == 1
+        assert kept == 2  # both old entries outside the changed row survive
+        assert sharded.get("u1", "u3") == 0.9
+
+    def test_patch_rejects_foreign_axis(self, users):
+        sharded = ShardedPairMatrix(users, num_shards=2)
+        region = UserPairMatrix(LabelIndex(["a", "b"]))
+        with pytest.raises(ValidationError, match="user axis"):
+            sharded.patch_with(
+                region, rows=np.asarray([0]), cols=np.empty(0, dtype=np.int64)
+            )
+
+    def test_patch_rejects_out_of_range_positions(self, users):
+        sharded = ShardedPairMatrix(users, num_shards=2)
+        region = UserPairMatrix(users)
+        with pytest.raises(ValidationError, match="rows positions"):
+            sharded.patch_with(
+                region, rows=np.asarray([99]), cols=np.empty(0, dtype=np.int64)
+            )

@@ -1,0 +1,109 @@
+"""Property tests: the sharded path is bitwise-equal to the in-memory one.
+
+Random communities (affiliation/expertise pairs), random shard layouts
+and random spill budgets -- ``derive_sharded`` must equal ``derive``
+entry for entry, and eigentrust over the sharded matrix must reproduce
+the dense scores and iteration count exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix import UserCategoryMatrix
+from repro.propagation import eigen_trust
+from repro.shard import ShardLayout, ShardStore
+from repro.shard.matrix import ENTRY_BYTES, ShardedPairMatrix
+from repro.trust import TrustDeriver
+
+
+@st.composite
+def communities(draw):
+    """A random (affiliation, expertise) pair on a shared user axis."""
+    num_users = draw(st.integers(2, 12))
+    num_categories = draw(st.integers(1, 4))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    density = draw(st.floats(0.1, 1.0))
+
+    def unit_matrix():
+        values = rng.random((num_users, num_categories))
+        return values * (rng.random((num_users, num_categories)) < density)
+
+    users = [f"u{i}" for i in range(num_users)]
+    categories = [f"c{j}" for j in range(num_categories)]
+    A = UserCategoryMatrix(users, categories, unit_matrix())
+    E = UserCategoryMatrix(users, categories, unit_matrix())
+    return A, E
+
+
+@st.composite
+def sharding(draw):
+    """A (num_shards, spill_bytes | None) configuration."""
+    num_shards = draw(st.integers(1, 6))
+    spill = draw(
+        st.one_of(st.none(), st.just(ENTRY_BYTES), st.integers(1, 10_000))
+    )
+    return num_shards, spill
+
+
+class TestDeriveSharded:
+    @given(communities(), sharding())
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_equal_to_derive(self, matrices, config):
+        A, E = matrices
+        num_shards, spill = config
+        deriver = TrustDeriver()
+        dense = deriver.derive(A, E)
+        sharded = deriver.derive_sharded(
+            A, E, num_shards=num_shards, spill_bytes=spill
+        )
+        assert sharded == dense
+        for a, b in zip(sharded.entries_arrays(), dense.entries_arrays()):
+            np.testing.assert_array_equal(a, b)
+
+    @given(communities(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_layout_bitwise_equal(self, matrices, data):
+        """Uneven, hand-drawn shard bounds must not change a single bit."""
+        A, E = matrices
+        n = len(A.users)
+        cuts = data.draw(
+            st.lists(st.integers(0, n), max_size=4).map(sorted), label="cuts"
+        )
+        bounds = tuple(dict.fromkeys([0, *cuts, n]))
+        layout = ShardLayout(n_rows=n, bounds=bounds)
+        deriver = TrustDeriver()
+        dense = deriver.derive(A, E)
+        assert deriver.derive_sharded(A, E, layout=layout) == dense
+
+    @given(communities(), sharding())
+    @settings(max_examples=30, deadline=None)
+    def test_flush_open_round_trip_bitwise(self, tmp_path_factory, matrices, config):
+        A, E = matrices
+        num_shards, spill = config
+        store = ShardStore(tmp_path_factory.mktemp("prop") / "s")
+        sharded = TrustDeriver().derive_sharded(
+            A, E, num_shards=num_shards, store=store, spill_bytes=spill
+        )
+        sharded.flush()
+        assert ShardedPairMatrix.open(store) == TrustDeriver().derive(A, E)
+
+
+class TestEigentrustSharded:
+    @given(communities(), sharding())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_and_iterations_match_dense(self, matrices, config):
+        A, E = matrices
+        num_shards, spill = config
+        deriver = TrustDeriver()
+        dense = deriver.derive(A, E)
+        sharded = deriver.derive_sharded(
+            A, E, num_shards=num_shards, spill_bytes=spill
+        )
+        reference = eigen_trust(dense)
+        streamed = eigen_trust(sharded)
+        np.testing.assert_array_equal(
+            streamed.scores_array(), reference.scores_array()
+        )
+        assert streamed.iterations == reference.iterations
+        assert streamed.converged == reference.converged

@@ -1,0 +1,112 @@
+"""Tests for the directory-backed shard store."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.shard import ShardStore
+from repro.shard.store import FORMAT, MANIFEST_NAME
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ShardStore(tmp_path / "store")
+
+
+class TestArrays:
+    def test_write_read_round_trip(self, store):
+        values = np.arange(10, dtype=np.int64)
+        written = store.write_array("a.npy", values)
+        assert written > 0
+        loaded = store.read_array("a.npy")
+        np.testing.assert_array_equal(np.asarray(loaded), values)
+
+    def test_read_is_memory_mapped_by_default(self, store):
+        store.write_array("a.npy", np.arange(4, dtype=np.float64))
+        loaded = store.read_array("a.npy")
+        assert isinstance(loaded, np.memmap)
+
+    def test_read_heap_copy_on_request(self, store):
+        store.write_array("a.npy", np.arange(4, dtype=np.float64))
+        loaded = store.read_array("a.npy", mmap=False)
+        assert not isinstance(loaded, np.memmap)
+
+    def test_read_missing_payload_rejected(self, store):
+        with pytest.raises(ValidationError, match="missing"):
+            store.read_array("ghost.npy")
+
+    @pytest.mark.parametrize("name", ["a/b.npy", "..\\up.npy", ".hidden"])
+    def test_path_rejects_traversal_and_dotfiles(self, store, name):
+        with pytest.raises(ValidationError):
+            store.path(name)
+
+
+class TestManifest:
+    def test_round_trip(self, store):
+        store.write_manifest({"format": FORMAT, "n_users": 3})
+        assert store.has_manifest()
+        assert store.read_manifest()["n_users"] == 3
+
+    def test_missing_manifest_rejected(self, store):
+        assert not store.has_manifest()
+        with pytest.raises(ValidationError, match="manifest"):
+            store.read_manifest()
+
+    def test_foreign_format_rejected(self, store):
+        store.write_manifest({"format": "something/else"})
+        with pytest.raises(ValidationError, match="format"):
+            store.read_manifest()
+
+
+class TestLabels:
+    def test_round_trip_preserves_order(self, store):
+        store.write_labels(("u1", "u0", "zed"))
+        assert store.read_labels() == ("u1", "u0", "zed")
+
+    def test_newlines_in_labels_rejected(self, store):
+        with pytest.raises(ValidationError, match="newline"):
+            store.write_labels(("ok", "bad\nlabel"))
+
+    def test_missing_labels_file_rejected(self, store):
+        with pytest.raises(ValidationError, match="user axis"):
+            store.read_labels()
+
+
+class TestIntegrity:
+    def test_checksum_is_stable(self, store):
+        store.write_array("a.npy", np.arange(5, dtype=np.int64))
+        assert store.checksum("a.npy") == store.checksum("a.npy")
+
+    def test_checksum_changes_with_content(self, store):
+        store.write_array("a.npy", np.arange(5, dtype=np.int64))
+        before = store.checksum("a.npy")
+        store.write_array("a.npy", np.arange(1, 6, dtype=np.int64))
+        assert store.checksum("a.npy") != before
+
+    def test_verify_clean_store(self, store):
+        store.write_array("a.npy", np.arange(5, dtype=np.int64))
+        store.write_manifest(
+            {"format": FORMAT, "checksums": {"a.npy": store.checksum("a.npy")}}
+        )
+        assert store.verify() == []
+
+    def test_verify_detects_corruption(self, store):
+        store.write_array("a.npy", np.arange(5, dtype=np.int64))
+        store.write_manifest(
+            {"format": FORMAT, "checksums": {"a.npy": store.checksum("a.npy")}}
+        )
+        with open(store.path("a.npy"), "r+b") as handle:
+            handle.seek(-1, 2)
+            handle.write(b"\xff")
+        assert store.verify() == ["a.npy"]
+
+    def test_verify_detects_missing_payload(self, store):
+        store.write_manifest({"format": FORMAT, "checksums": {"gone.npy": "00"}})
+        assert store.verify() == ["gone.npy"]
+
+
+class TestTemporary:
+    def test_temporary_store_is_usable(self):
+        store = ShardStore.temporary()
+        store.write_array("a.npy", np.arange(3, dtype=np.int64))
+        assert store.path(MANIFEST_NAME).parent.exists()

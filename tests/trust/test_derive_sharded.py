@@ -1,0 +1,86 @@
+"""Tests for the out-of-core Step 3 path (``TrustDeriver.derive_sharded``)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.matrix import UserCategoryMatrix
+from repro.shard import ShardLayout, ShardStore
+from repro.shard.matrix import ENTRY_BYTES
+from repro.trust import TrustDeriver
+
+
+def random_matrices(num_users=20, num_categories=3, seed=5, density=0.6):
+    rng = np.random.default_rng(seed)
+
+    def unit_matrix():
+        values = rng.random((num_users, num_categories))
+        return values * (rng.random((num_users, num_categories)) < density)
+
+    users = [f"u{i}" for i in range(num_users)]
+    categories = [f"c{j}" for j in range(num_categories)]
+    A = UserCategoryMatrix(users, categories, unit_matrix())
+    E = UserCategoryMatrix(users, categories, unit_matrix())
+    return A, E
+
+
+class TestBitwiseEquality:
+    @pytest.mark.parametrize("num_shards", [1, 3, 4, 7])
+    def test_matches_derive_at_any_shard_count(self, num_shards):
+        A, E = random_matrices()
+        deriver = TrustDeriver()
+        dense = deriver.derive(A, E)
+        sharded = deriver.derive_sharded(A, E, num_shards=num_shards)
+        assert sharded == dense
+        for a, b in zip(sharded.entries_arrays(), dense.entries_arrays()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_spilled_path_identical(self):
+        A, E = random_matrices()
+        deriver = TrustDeriver()
+        sharded = deriver.derive_sharded(
+            A, E, num_shards=3, spill_bytes=ENTRY_BYTES
+        )
+        assert sharded == deriver.derive(A, E)
+        assert sharded.store is not None  # every shard hit the disk
+
+    def test_capped_block_size_identical(self):
+        """A tiny spill budget also shrinks the dense scratch block --
+        block boundaries must not change any stored value."""
+        A, E = random_matrices(num_users=25)
+        deriver = TrustDeriver(block_size=512)
+        sharded = deriver.derive_sharded(A, E, num_shards=2, spill_bytes=8 * 25)
+        assert sharded == deriver.derive(A, E)
+
+    def test_uneven_layout_identical(self):
+        A, E = random_matrices(num_users=10)
+        layout = ShardLayout(n_rows=10, bounds=(0, 1, 9, 10))
+        deriver = TrustDeriver()
+        assert deriver.derive_sharded(A, E, layout=layout) == deriver.derive(A, E)
+
+
+class TestEdgeCases:
+    def test_zero_affinity_community_is_empty(self):
+        users = ["u0", "u1"]
+        A = UserCategoryMatrix(users, ["c0"])
+        E = UserCategoryMatrix(users, ["c0"], np.asarray([[0.5], [0.5]]))
+        sharded = TrustDeriver().derive_sharded(A, E, num_shards=2)
+        assert sharded.num_entries() == 0
+        assert sharded == TrustDeriver().derive(A, E)
+
+    def test_misaligned_axes_rejected(self):
+        A = UserCategoryMatrix(["u0", "u1"], ["c0"])
+        E = UserCategoryMatrix(["u0", "other"], ["c0"])
+        with pytest.raises(ValidationError):
+            TrustDeriver().derive_sharded(A, E)
+
+    def test_result_lands_in_given_store(self, tmp_path):
+        A, E = random_matrices()
+        store = ShardStore(tmp_path / "derived")
+        sharded = TrustDeriver().derive_sharded(
+            A, E, num_shards=2, store=store, spill_bytes=ENTRY_BYTES
+        )
+        assert sharded.store is store
+        sharded.flush(epoch=3)
+        assert store.read_manifest()["epoch"] == 3
+        assert store.verify() == []
